@@ -1,0 +1,52 @@
+"""Extension — adaptive Marking-Cap (the paper's future-work suggestion).
+
+Section 8.3.1 notes "it is possible to improve our mechanism by making the
+Marking-Cap adaptive."  This bench compares the self-tuning cap
+(:class:`repro.core.batcher.AdaptiveCapBatcher`) against fixed caps 1 and
+5 and the uncapped scheduler over a small mix set.  Expected shape: the
+adaptive cap tracks the fixed sweet spot (no worse than a few percent on
+fairness and throughput) without per-workload tuning.
+"""
+
+import os
+
+from conftest import run_once
+
+from repro.experiments.ablations import SweepResult, _mix_set
+from repro.experiments.reporting import format_table
+
+
+def test_ext_adaptive_marking_cap(benchmark, runner4):
+    count = max(1, int(os.environ.get("REPRO_WORKLOADS", "4")) // 2)
+
+    def run():
+        mixes = _mix_set(count, include_case_studies=True, seed=42)
+        variants = {
+            "c=1": [runner4.run_workload(m, "PAR-BS", marking_cap=1) for m in mixes],
+            "c=5": [runner4.run_workload(m, "PAR-BS", marking_cap=5) for m in mixes],
+            "no-c": [runner4.run_workload(m, "PAR-BS", marking_cap=None) for m in mixes],
+            "adaptive": [
+                runner4.run_workload(m, "PAR-BS", batching="adaptive") for m in mixes
+            ],
+        }
+        return SweepResult(variants=variants, mixes=mixes)
+
+    result = run_once(benchmark, run)
+    summary = result.summary()
+    print()
+    print(
+        format_table(
+            ["variant", "unfairness", "wspeedup", "hspeedup"],
+            [
+                [label, v["unfairness"], v["wspeedup"], v["hspeedup"]]
+                for label, v in summary.items()
+            ],
+            title="Extension: adaptive Marking-Cap",
+        )
+    )
+
+    # The adaptive cap must stay competitive with the best fixed setting.
+    best_ws = max(v["wspeedup"] for v in summary.values())
+    best_unf = min(v["unfairness"] for v in summary.values())
+    assert summary["adaptive"]["wspeedup"] >= 0.93 * best_ws
+    assert summary["adaptive"]["unfairness"] <= 1.25 * best_unf

@@ -1,0 +1,21 @@
+"""Figure 3: within-batch scheduling in the abstract cost model.
+
+Regenerates the FCFS / FR-FCFS / PAR-BS batch-completion-time comparison.
+Expected shape: PAR-BS < FR-FCFS < FCFS average completion time, with the
+spread-out thread (Thread 1) finishing in exactly one latency unit under
+PAR-BS.
+"""
+
+from conftest import run_once
+
+from repro.experiments.abstract_fig3 import run_fig3
+
+
+def test_fig3_abstract_batch(benchmark):
+    result = run_once(benchmark, run_fig3)
+    print()
+    print(result.report())
+    fcfs = result.schedules["fcfs"].average_completion
+    frfcfs = result.schedules["fr-fcfs"].average_completion
+    parbs = result.schedules["par-bs"].average_completion
+    assert parbs < frfcfs < fcfs

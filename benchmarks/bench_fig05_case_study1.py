@@ -1,0 +1,29 @@
+"""Figure 5 — Case Study I: memory-intensive 4-core workload.
+
+libquantum + mcf + GemsFDTD + xalancbmk under the five schedulers.
+Expected shape (paper): FR-FCFS is the most unfair (it favors the
+streaming thread libquantum); the QoS-aware schedulers reduce unfairness;
+PAR-BS hurts mcf — the thread with the highest bank-level parallelism —
+least among the QoS schedulers.
+"""
+
+from conftest import run_once
+
+from repro.experiments.case_studies import run_case_study
+
+
+def test_fig5_case_study_1(benchmark, runner4):
+    result = run_once(
+        benchmark, lambda: run_case_study("fig5_case_study_1", runner=runner4)
+    )
+    print()
+    print(result.report())
+
+    unf = {name: r.unfairness for name, r in result.results.items()}
+    mcf = {name: r.slowdowns()[1] for name, r in result.results.items()}
+    # QoS schedulers are fairer than (or comparable to) FR-FCFS.
+    assert unf["PAR-BS"] < 1.2 * unf["FR-FCFS"]
+    assert unf["STFM"] < 1.2 * unf["FR-FCFS"]
+    # PAR-BS protects mcf's bank-level parallelism best among QoS schedulers.
+    assert mcf["PAR-BS"] <= mcf["NFQ"] + 0.1
+    assert mcf["PAR-BS"] <= mcf["STFM"] + 0.1

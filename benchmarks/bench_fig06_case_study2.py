@@ -1,0 +1,28 @@
+"""Figure 6 — Case Study II: non-intensive 4-core workload.
+
+matlab + h264ref + omnetpp + hmmer (only omnetpp has high bank-level
+parallelism).  Expected shape (paper): PAR-BS is the only scheduler that
+does not significantly penalize the high-BLP thread (omnetpp) and achieves
+the best fairness; under PAR-BS the least intensive thread (h264ref) is
+the one slowed most, but less than under other schedulers' worst cases.
+"""
+
+from conftest import run_once
+
+from repro.experiments.case_studies import run_case_study
+
+
+def test_fig6_case_study_2(benchmark, runner4):
+    result = run_once(
+        benchmark, lambda: run_case_study("fig6_case_study_2", runner=runner4)
+    )
+    print()
+    print(result.report())
+
+    omnetpp = {name: r.slowdowns()[2] for name, r in result.results.items()}
+    unf = {name: r.unfairness for name, r in result.results.items()}
+    # PAR-BS keeps omnetpp's slowdown lower than NFQ does (parallelism
+    # restoration, paper Section 8.1.2).
+    assert omnetpp["PAR-BS"] <= omnetpp["NFQ"] + 0.1
+    # PAR-BS fairness beats STFM's on this workload.
+    assert unf["PAR-BS"] <= 1.1 * unf["STFM"]

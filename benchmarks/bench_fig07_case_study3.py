@@ -1,0 +1,26 @@
+"""Figure 7 — Case Study III: four identical copies of lbm.
+
+With identical threads, every scheduler is (nearly) perfectly fair; the
+schedulers differ only in throughput.  Expected shape (paper): PAR-BS has
+the best weighted/hmean speedup because it services each copy's requests
+in parallel; NFQ is worst because its deadline balancing interleaves the
+copies in each bank and destroys their row-buffer hit rates.
+"""
+
+from conftest import run_once
+
+from repro.experiments.case_studies import run_case_study
+
+
+def test_fig7_case_study_3(benchmark, runner4):
+    result = run_once(
+        benchmark, lambda: run_case_study("fig7_case_study_3", runner=runner4)
+    )
+    print()
+    print(result.report())
+
+    for name, r in result.results.items():
+        assert r.unfairness < 1.4, f"{name} unfair on identical threads"
+    ws = {name: r.weighted_speedup for name, r in result.results.items()}
+    assert ws["PAR-BS"] >= max(ws.values()) - 0.05  # best or tied
+    assert ws["NFQ"] <= ws["PAR-BS"]

@@ -1,0 +1,27 @@
+"""Figure 9 — the 8-core mixed workload.
+
+mcf + xml-parser + cactusADM + astar + hmmer + h264ref + gromacs + bzip2
+(3 intensive + 5 non-intensive; only mcf has very high bank-level
+parallelism).  Expected shape (paper): every previous scheduler slows mcf
+heavily because its concurrent accesses get serialized by interference
+from seven other threads; PAR-BS preserves mcf's parallelism and achieves
+the best fairness and throughput.
+"""
+
+from conftest import run_once
+
+from repro.experiments.case_studies import run_case_study
+
+
+def test_fig9_8core_mix(benchmark, runner8):
+    result = run_once(
+        benchmark, lambda: run_case_study("fig9_8core_mix", runner=runner8)
+    )
+    print()
+    print(result.report())
+
+    mcf = {name: r.slowdowns()[0] for name, r in result.results.items()}
+    unf = {name: r.unfairness for name, r in result.results.items()}
+    assert mcf["PAR-BS"] <= mcf["NFQ"] + 0.1
+    assert mcf["PAR-BS"] <= mcf["STFM"] + 0.1
+    assert unf["PAR-BS"] < 1.25 * min(unf["STFM"], unf["NFQ"])

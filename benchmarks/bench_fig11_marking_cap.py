@@ -1,0 +1,42 @@
+"""Figure 11 — effect of Marking-Cap on PAR-BS.
+
+Sweeps the cap over the paper's x-axis (1..10, 20, no cap) on a mix set
+including Case Studies I and II.  Expected shape (paper): very small caps
+destroy row-buffer locality (worst throughput, streaming threads like
+libquantum/matlab slowed hardest); throughput recovers by cap ≈ 5; very
+large / no cap drifts back toward FR-FCFS-like unfairness.
+"""
+
+import os
+
+from conftest import run_once
+
+from repro.experiments.ablations import marking_cap_sweep
+
+
+def test_fig11_marking_cap(benchmark, runner4):
+    caps = [1, 2, 3, 5, 8, 10, 20, None]
+    count = max(1, int(os.environ.get("REPRO_WORKLOADS", "4")) // 2)
+    result = run_once(
+        benchmark,
+        lambda: marking_cap_sweep(caps=caps, count=count, runner=runner4),
+    )
+    print()
+    print(result.report("Figure 11: Marking-Cap sweep"))
+    print("\nCase Study I slowdowns (cap=1 vs cap=5):")
+    for cap in ("c=1", "c=5"):
+        print(f"  {cap}: {result.case_slowdowns(cap, 0)}")
+
+    summary = result.summary()
+    # Cap 1 punishes the streaming thread (libquantum, Case Study I): its
+    # row streaks are chopped at every (tiny) batch boundary.
+    libq_tight = result.case_slowdowns("c=1", 0)["libquantum"]
+    libq_five = result.case_slowdowns("c=5", 0)["libquantum"]
+    assert libq_tight > libq_five
+    # Beyond the point where the cap stops binding the sweep converges to
+    # the uncapped behaviour.
+    assert abs(summary["c=20"]["wspeedup"] - summary["no-c"]["wspeedup"]) < 0.05
+    # NOTE (recorded in EXPERIMENTS.md): with this substrate's shallower
+    # per-bank queues the paper's aggregate throughput *minimum* at cap 1
+    # does not reproduce — the locality loss is visible per-thread (above)
+    # but not in average weighted speedup.

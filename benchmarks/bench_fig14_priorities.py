@@ -1,0 +1,44 @@
+"""Figure 14 — system-level thread priorities and opportunistic service.
+
+Left: four lbm copies with PAR-BS priorities 1-1-2-8 vs NFQ/STFM weights
+8-8-4-1.  Right: omnetpp prioritized while libquantum/milc/astar receive
+purely opportunistic service (PAR-BS) or weight-1 service vs weight 8192
+(NFQ/STFM).  Expected shape (paper): every scheduler respects the
+ordering; PAR-BS serves the high-priority threads best (it preserves their
+bank-level parallelism), and its opportunistic mode gives the critical
+thread nearly its alone-run performance.
+"""
+
+from conftest import run_once
+
+from repro.experiments.priorities import run_opportunistic, run_weighted_lbm
+
+
+def test_fig14_weighted_lbm(benchmark, runner4):
+    result = run_once(benchmark, lambda: run_weighted_lbm(runner=runner4))
+    print()
+    print(result.report())
+
+    parbs = result.slowdowns("PAR-BS-pri-1-1-2-8")
+    # Priority ordering respected: level 1 < level 2 < level 8 slowdowns.
+    assert max(parbs[0], parbs[1]) < parbs[2] < parbs[3]
+    # PAR-BS's high-priority copies beat the weighted NFQ/STFM equivalents.
+    nfq = result.slowdowns("NFQ-shares-8-8-4-1")
+    stfm = result.slowdowns("STFM-weights-8-8-4-1")
+    assert min(parbs[0], parbs[1]) <= 1.1 * min(nfq[0], nfq[1])
+    assert min(parbs[0], parbs[1]) <= 1.1 * min(stfm[0], stfm[1])
+
+
+def test_fig14_opportunistic(benchmark, runner4):
+    result = run_once(benchmark, lambda: run_opportunistic(runner=runner4))
+    print()
+    print(result.report())
+
+    parbs = result.slowdowns("PAR-BS-L-L-0-L")
+    # The critical thread (omnetpp, index 2) runs nearly undisturbed.
+    assert parbs[2] < 1.3
+    assert parbs[2] == min(parbs)
+    # PAR-BS serves the critical thread at least as well as the
+    # large-weight approximations in NFQ/STFM.
+    assert parbs[2] <= 1.1 * result.slowdowns("NFQ-1-1-8K-1")[2]
+    assert parbs[2] <= 1.1 * result.slowdowns("STFM-1-1-8K-1")[2]

@@ -1,0 +1,24 @@
+"""Table 1 — additional hardware state of a PAR-BS implementation.
+
+Reproduces the bit-count accounting of Section 6: for the paper's example
+configuration (8-core CMP, 128-entry request buffer, 8 banks) the extra
+state beyond FR-FCFS — marked bits, thread ranks/ids, ranking counters and
+the Marking-Cap register — totals exactly 1412 bits.
+"""
+
+from conftest import run_once
+
+from repro.core.hardware import hardware_cost
+
+
+def test_table1_hardware_cost(benchmark):
+    cost = run_once(benchmark, lambda: hardware_cost(8, 128, 8))
+    print()
+    print("Table 1 (8 cores, 128-entry buffer, 8 banks):")
+    print(cost.breakdown())
+    assert cost.total_bits == 1412  # exact paper value
+
+    print("\nScaling with system size:")
+    for threads, buffer_size, banks in ((4, 128, 8), (8, 128, 8), (16, 128, 8)):
+        c = hardware_cost(threads, buffer_size, banks)
+        print(f"  {threads:2d} cores: {c.total_bits} bits")

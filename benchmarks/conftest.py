@@ -1,0 +1,54 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Each ``bench_*`` module regenerates one table or figure of the paper and
+prints a paper-vs-measured report.  Scales are sized for a laptop; raise
+them to tighten statistics:
+
+* ``REPRO_BENCH_INSTRUCTIONS`` — instructions per thread (default 100 000;
+  the paper simulates 150 M).
+* ``REPRO_WORKLOADS`` — random mixes per aggregate experiment (paper: 100
+  4-core / 16 8-core / 12 16-core).
+
+Alone-run baselines are cached per core count across all benchmarks in the
+session.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.config import baseline_system
+from repro.sim.runner import ExperimentRunner
+
+
+def bench_instructions() -> int:
+    return max(20_000, int(os.environ.get("REPRO_BENCH_INSTRUCTIONS", "100000")))
+
+
+def bench_workloads(num_cores: int) -> int:
+    env = os.environ.get("REPRO_WORKLOADS")
+    if env is not None:
+        return max(1, int(env))
+    return {4: 8, 8: 3, 16: 2}[num_cores]
+
+
+@pytest.fixture(scope="session")
+def runner4() -> ExperimentRunner:
+    return ExperimentRunner(baseline_system(4), instructions=bench_instructions())
+
+
+@pytest.fixture(scope="session")
+def runner8() -> ExperimentRunner:
+    return ExperimentRunner(baseline_system(8), instructions=bench_instructions())
+
+
+@pytest.fixture(scope="session")
+def runner16() -> ExperimentRunner:
+    return ExperimentRunner(baseline_system(16), instructions=bench_instructions())
+
+
+def run_once(benchmark, func):
+    """Run a heavy experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Scheduler behaviour as the core count scales (4 -> 8 -> 16).
+
+The paper argues the DRAM system becomes a bigger fairness and performance
+bottleneck as more cores share it (Section 8.2): interference grows, so
+the gap between thread-unaware scheduling (FR-FCFS) and PAR-BS widens.
+This example runs one category-balanced random mix per system size —
+channels scale with cores as in the paper (1/2/4) — and prints unfairness
+and throughput for FR-FCFS, STFM and PAR-BS.
+
+Usage:
+    python examples/scaling_study.py [instructions-per-thread]
+"""
+
+import sys
+
+from repro import ExperimentRunner, baseline_system, random_mixes
+
+
+def main() -> None:
+    instructions = int(sys.argv[1]) if len(sys.argv) > 1 else 40_000
+
+    for cores in (4, 8, 16):
+        workload = random_mixes(cores, count=1, seed=11)[0]
+        runner = ExperimentRunner(baseline_system(cores), instructions=instructions)
+        print(f"\n{cores}-core system ({cores // 4 or 1} DRAM channel(s)):")
+        print(f"  workload: {', '.join(workload)}")
+        for name in ("FR-FCFS", "STFM", "PAR-BS"):
+            result = runner.run_workload(workload, name)
+            print(
+                f"  {name:<8} unfairness={result.unfairness:5.2f}  "
+                f"wspeedup={result.weighted_speedup:5.2f}  "
+                f"worst-case latency={result.worst_case_latency}"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,144 @@
+"""Command-line interface: run any paper experiment by name.
+
+Examples::
+
+    python -m repro list
+    python -m repro fig3
+    python -m repro case-study fig5 --instructions 100000
+    python -m repro aggregate --cores 4 --count 12
+    python -m repro table4 --count 6
+    python -m repro sweep marking-cap --count 4
+    python -m repro priorities
+    python -m repro characterize
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .config import baseline_system
+from .experiments.ablations import (
+    batching_choice_sweep,
+    marking_cap_sweep,
+    ranking_scheme_sweep,
+)
+from .experiments.abstract_fig3 import run_fig3
+from .experiments.aggregate import run_aggregate
+from .experiments.case_studies import CASE_STUDIES, run_case_study
+from .experiments.characterization import run_characterization
+from .experiments.priorities import run_opportunistic, run_weighted_lbm
+from .experiments.summary import run_table4
+from .sim.runner import ExperimentRunner
+
+_CASE_ALIASES = {
+    "fig5": "fig5_case_study_1",
+    "fig6": "fig6_case_study_2",
+    "fig7": "fig7_case_study_3",
+    "fig9": "fig9_8core_mix",
+}
+
+_EXPERIMENTS = """Available experiments (paper artifact -> command):
+  Figure 3   python -m repro fig3
+  Table 3    python -m repro characterize
+  Figure 5   python -m repro case-study fig5
+  Figure 6   python -m repro case-study fig6
+  Figure 7   python -m repro case-study fig7
+  Figure 8   python -m repro aggregate --cores 4
+  Figure 9   python -m repro case-study fig9
+  Figure 10  python -m repro aggregate --cores 16
+  Table 4    python -m repro table4
+  Figure 11  python -m repro sweep marking-cap
+  Figure 12  python -m repro sweep batching
+  Figure 13  python -m repro sweep ranking
+  Figure 14  python -m repro priorities"""
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="PAR-BS reproduction experiment runner"
+    )
+    parser.add_argument(
+        "--instructions",
+        type=int,
+        default=None,
+        help="instructions per thread (default: library default / REPRO_SCALE)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list all experiments")
+    sub.add_parser("fig3", help="Figure 3: abstract within-batch model")
+    sub.add_parser("characterize", help="Table 3: benchmark characterization")
+    sub.add_parser("priorities", help="Figure 14: thread priorities")
+
+    case = sub.add_parser("case-study", help="Figures 5/6/7/9")
+    case.add_argument("name", choices=sorted(_CASE_ALIASES) + sorted(CASE_STUDIES))
+
+    agg = sub.add_parser("aggregate", help="Figures 8/10: workload averages")
+    agg.add_argument("--cores", type=int, default=4, choices=(4, 8, 16))
+    agg.add_argument("--count", type=int, default=None, help="random mixes")
+    agg.add_argument("--samples", action="store_true", help="include named sample mixes")
+
+    table = sub.add_parser("table4", help="Table 4: 4/8/16-core summary")
+    table.add_argument("--count", type=int, default=None, help="mixes per system size")
+
+    sweep = sub.add_parser("sweep", help="Figures 11/12/13: ablations")
+    sweep.add_argument("kind", choices=("marking-cap", "batching", "ranking"))
+    sweep.add_argument("--count", type=int, default=4, help="random mixes")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    instructions = args.instructions
+
+    if args.command == "list":
+        print(_EXPERIMENTS)
+        return 0
+    if args.command == "fig3":
+        print(run_fig3().report())
+        return 0
+    if args.command == "characterize":
+        print(run_characterization(instructions=instructions).report())
+        return 0
+    if args.command == "priorities":
+        print(run_weighted_lbm(instructions=instructions).report())
+        print()
+        print(run_opportunistic(instructions=instructions).report())
+        return 0
+    if args.command == "case-study":
+        name = _CASE_ALIASES.get(args.name, args.name)
+        print(run_case_study(name, instructions=instructions).report())
+        return 0
+    if args.command == "aggregate":
+        result = run_aggregate(
+            args.cores,
+            count=args.count,
+            instructions=instructions,
+            include_sample_mixes=args.samples,
+        )
+        print(result.report())
+        return 0
+    if args.command == "table4":
+        counts = None
+        if args.count is not None:
+            counts = {4: args.count, 8: args.count, 16: args.count}
+        print(run_table4(counts=counts, instructions=instructions).report())
+        return 0
+    if args.command == "sweep":
+        runner = ExperimentRunner(baseline_system(4), instructions=instructions)
+        if args.kind == "marking-cap":
+            result = marking_cap_sweep(count=args.count, runner=runner)
+            print(result.report("Figure 11: Marking-Cap sweep"))
+        elif args.kind == "batching":
+            result = batching_choice_sweep(count=args.count, runner=runner)
+            print(result.report("Figure 12: batching choice"))
+        else:
+            result = ranking_scheme_sweep(count=args.count, runner=runner)
+            print(result.report("Figure 13: within-batch ranking"))
+        return 0
+    return 1  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,7 @@
+"""Per-core cache hierarchy: caches, MSHRs, and the two-level wrapper."""
+
+from .cache import AccessResult, Cache, CacheStats
+from .hierarchy import CacheHierarchy
+from .mshr import MshrFile
+
+__all__ = ["AccessResult", "Cache", "CacheStats", "CacheHierarchy", "MshrFile"]

@@ -1,0 +1,134 @@
+"""Set-associative write-back cache with LRU replacement.
+
+Used to filter raw program traces down to the DRAM request streams the
+memory controller sees (L1 32 KB 4-way and L2 512 KB 8-way per core in the
+baseline, 64-byte lines).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+__all__ = ["Cache", "CacheStats", "AccessResult"]
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of a cache access."""
+
+    hit: bool
+    writeback_address: int | None = None  # dirty victim evicted by the fill
+
+
+class Cache:
+    """A single cache level.
+
+    Parameters
+    ----------
+    size_bytes: total capacity.
+    associativity: ways per set.
+    line_bytes: cache-line size (64 in the baseline).
+    latency: access latency in cycles (bookkeeping only; the hierarchy
+        applies it).
+    """
+
+    def __init__(
+        self,
+        size_bytes: int,
+        associativity: int,
+        line_bytes: int = 64,
+        latency: int = 0,
+        name: str = "cache",
+    ) -> None:
+        if size_bytes <= 0 or associativity <= 0 or line_bytes <= 0:
+            raise ValueError("cache parameters must be positive")
+        if size_bytes % (associativity * line_bytes) != 0:
+            raise ValueError("size must be divisible by associativity * line size")
+        self.size_bytes = size_bytes
+        self.associativity = associativity
+        self.line_bytes = line_bytes
+        self.latency = latency
+        self.name = name
+        self.num_sets = size_bytes // (associativity * line_bytes)
+        # Per set: OrderedDict tag -> dirty flag; LRU order = insertion order,
+        # least-recently-used first.
+        self._sets: list[OrderedDict[int, bool]] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+        self.stats = CacheStats()
+
+    # -- address helpers -----------------------------------------------------
+    def _locate(self, address: int) -> tuple[int, int]:
+        line = address // self.line_bytes
+        return line % self.num_sets, line // self.num_sets
+
+    def line_address(self, address: int) -> int:
+        return (address // self.line_bytes) * self.line_bytes
+
+    # -- operations ------------------------------------------------------------
+    def lookup(self, address: int) -> bool:
+        """Non-modifying presence check."""
+        set_index, tag = self._locate(address)
+        return tag in self._sets[set_index]
+
+    def access(self, address: int, is_write: bool = False) -> AccessResult:
+        """Access the cache; on a miss, the line is *not* allocated (call
+        :meth:`fill` when the data arrives)."""
+        set_index, tag = self._locate(address)
+        ways = self._sets[set_index]
+        if tag in ways:
+            ways.move_to_end(tag)
+            if is_write:
+                ways[tag] = True
+            self.stats.hits += 1
+            return AccessResult(hit=True)
+        self.stats.misses += 1
+        return AccessResult(hit=False)
+
+    def fill(self, address: int, dirty: bool = False) -> AccessResult:
+        """Allocate the line for ``address``, evicting LRU if needed.
+
+        Returns the dirty victim's address (for a writeback) if any.
+        """
+        set_index, tag = self._locate(address)
+        ways = self._sets[set_index]
+        writeback = None
+        if tag in ways:
+            ways.move_to_end(tag)
+            ways[tag] = ways[tag] or dirty
+            return AccessResult(hit=True)
+        if len(ways) >= self.associativity:
+            victim_tag, victim_dirty = ways.popitem(last=False)
+            self.stats.evictions += 1
+            if victim_dirty:
+                self.stats.writebacks += 1
+                victim_line = victim_tag * self.num_sets + set_index
+                writeback = victim_line * self.line_bytes
+        ways[tag] = dirty
+        return AccessResult(hit=False, writeback_address=writeback)
+
+    def invalidate(self, address: int) -> bool:
+        """Drop the line if present; returns whether it was dirty."""
+        set_index, tag = self._locate(address)
+        ways = self._sets[set_index]
+        if tag in ways:
+            dirty = ways.pop(tag)
+            return dirty
+        return False

@@ -1,0 +1,118 @@
+"""Per-core two-level cache hierarchy.
+
+Implements the :class:`~repro.cpu.core.MemoryPort` protocol: the core sends
+raw loads/stores; the hierarchy filters them through L1 and L2 (write-back,
+write-allocate), merges misses in the L2 MSHRs, and forwards misses to the
+DRAM port below.  Dirty evictions become DRAM writes.
+
+Latency accounting: L1 and L2 hit latencies are applied via the event
+queue.  DRAM round-trip latency comes from the memory controller itself.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..config import CoreConfig
+from ..events import EventQueue
+from .cache import Cache
+from .mshr import MshrFile
+
+__all__ = ["CacheHierarchy"]
+
+
+class CacheHierarchy:
+    """L1 + L2 per-core hierarchy in front of a shared DRAM port.
+
+    Parameters
+    ----------
+    dram_port:
+        Object with ``access(thread_id, address, is_write, on_complete)``,
+        normally the system's DRAM adapter.
+    """
+
+    def __init__(
+        self,
+        thread_id: int,
+        queue: EventQueue,
+        dram_port,
+        l1_size: int = 32 * 1024,
+        l1_assoc: int = 4,
+        l1_latency: int = 2,
+        l2_size: int = 512 * 1024,
+        l2_assoc: int = 8,
+        l2_latency: int = 12,
+        line_bytes: int = 64,
+        mshrs: int = 32,
+    ) -> None:
+        self.thread_id = thread_id
+        self.queue = queue
+        self.dram_port = dram_port
+        self.l1 = Cache(l1_size, l1_assoc, line_bytes, l1_latency, name="L1")
+        self.l2 = Cache(l2_size, l2_assoc, line_bytes, l2_latency, name="L2")
+        self.mshrs = MshrFile(mshrs)
+        self.line_bytes = line_bytes
+        self.dram_reads = 0
+        self.dram_writes = 0
+
+    # -- MemoryPort -------------------------------------------------------------
+    def access(
+        self,
+        thread_id: int,
+        address: int,
+        is_write: bool,
+        on_complete: Callable[[], None] | None,
+    ) -> None:
+        line = self.l1.line_address(address)
+        total_hit_latency = self.l1.latency
+
+        if self.l1.access(line, is_write).hit:
+            self._respond(on_complete, total_hit_latency)
+            return
+
+        total_hit_latency += self.l2.latency
+        if self.l2.access(line, is_write).hit:
+            # Fill L1 from L2.
+            self._fill_l1(line, dirty=is_write)
+            self._respond(on_complete, total_hit_latency)
+            return
+
+        # L2 miss: allocate or merge an MSHR and go to DRAM.
+        def on_fill() -> None:
+            self._install(line, dirty=is_write)
+            for waiter in self.mshrs.complete(line):
+                waiter()
+
+        if self.mshrs.outstanding(line):
+            self.mshrs.allocate(line, on_complete)
+            return
+        # Primary miss.  If the MSHR file is full the request is delayed
+        # until one frees; the core's own MSHR limit normally prevents this.
+        self.mshrs.allocate(line, on_complete)
+        self.dram_reads += 1
+        self.dram_port.access(self.thread_id, line, False, on_fill)
+
+    # -- internals -----------------------------------------------------------------
+    def _respond(self, on_complete: Callable[[], None] | None, latency: int) -> None:
+        if on_complete is None:
+            return
+        self.queue.schedule_in(latency, on_complete, priority=5)
+
+    def _install(self, line: int, dirty: bool) -> None:
+        """Install a returned line into L2 and L1, issuing writebacks."""
+        result = self.l2.fill(line, dirty=dirty)
+        if result.writeback_address is not None:
+            self.dram_writes += 1
+            self.dram_port.access(self.thread_id, result.writeback_address, True, None)
+        self._fill_l1(line, dirty=False)
+
+    def _fill_l1(self, line: int, dirty: bool) -> None:
+        result = self.l1.fill(line, dirty=dirty)
+        if result.writeback_address is not None:
+            # L1 victim goes to L2 (write-back); may cascade to DRAM.
+            l2_result = self.l2.fill(result.writeback_address, dirty=True)
+            if l2_result.writeback_address is not None:
+                self.dram_writes += 1
+                self.dram_port.access(
+                    self.thread_id, l2_result.writeback_address, True, None
+                )

@@ -1,0 +1,60 @@
+"""Miss-status holding registers (MSHRs).
+
+MSHRs track outstanding cache misses and merge secondary misses to the same
+line so only one DRAM request is issued per line.  The baseline L2 has 32
+MSHRs per core.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+__all__ = ["MshrFile"]
+
+
+class MshrFile:
+    """A fixed-size file of miss-status holding registers."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("MSHR capacity must be positive")
+        self.capacity = capacity
+        self._entries: dict[int, list[Callable[[], None]]] = {}
+        self.merges = 0
+        self.allocations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def outstanding(self, line_address: int) -> bool:
+        return line_address in self._entries
+
+    def allocate(self, line_address: int, waiter: Callable[[], None] | None) -> bool:
+        """Register a miss for ``line_address``.
+
+        Returns ``True`` if this is a *primary* miss (a new DRAM request is
+        needed) and ``False`` if it merged into an existing entry.  Raises
+        if a primary miss is needed but the file is full (callers must check
+        :attr:`full` first for primary misses).
+        """
+        if line_address in self._entries:
+            if waiter is not None:
+                self._entries[line_address].append(waiter)
+            self.merges += 1
+            return False
+        if self.full:
+            raise RuntimeError("MSHR file is full")
+        self._entries[line_address] = [waiter] if waiter is not None else []
+        self.allocations += 1
+        return True
+
+    def complete(self, line_address: int) -> list[Callable[[], None]]:
+        """Retire the entry for ``line_address``; returns waiters to notify."""
+        waiters = self._entries.pop(line_address, None)
+        if waiters is None:
+            raise KeyError(f"no MSHR outstanding for {line_address:#x}")
+        return waiters

@@ -1,0 +1,44 @@
+"""The paper's core contribution: Parallelism-Aware Batch Scheduling."""
+
+from .abstract_model import AbstractBatch, AbstractRequest, ScheduleResult
+from .batcher import (
+    OPPORTUNISTIC,
+    AdaptiveCapBatcher,
+    Batcher,
+    EslotBatcher,
+    FullBatcher,
+    StaticBatcher,
+)
+from .hardware import HardwareCost, hardware_cost
+from .parbs import ParBsScheduler
+from .ranking import (
+    MaxTotalRanking,
+    RandomRanking,
+    RoundRobinRanking,
+    ThreadRanking,
+    TotalMaxRanking,
+    batch_loads,
+    make_ranking,
+)
+
+__all__ = [
+    "AbstractBatch",
+    "AbstractRequest",
+    "ScheduleResult",
+    "OPPORTUNISTIC",
+    "AdaptiveCapBatcher",
+    "Batcher",
+    "EslotBatcher",
+    "FullBatcher",
+    "StaticBatcher",
+    "ParBsScheduler",
+    "HardwareCost",
+    "hardware_cost",
+    "MaxTotalRanking",
+    "RandomRanking",
+    "RoundRobinRanking",
+    "ThreadRanking",
+    "TotalMaxRanking",
+    "batch_loads",
+    "make_ranking",
+]

@@ -1,0 +1,149 @@
+"""Abstract within-batch scheduling model (paper Figures 1-3).
+
+The paper motivates PAR-BS with a simplified model that abstracts away DRAM
+bus contention and detailed timing: requests in a batch are all present at
+time zero, each bank services one request at a time, a row-conflict access
+costs 1 latency unit and a row-hit access (same row as the immediately
+preceding access in that bank) costs 0.5 units.  The first access to each
+bank is a row-conflict.
+
+A thread's *batch-completion time* is when its last request finishes; it is
+a proxy for the thread's memory-related stall time within the batch.  This
+module reproduces the Figure 3 comparison of FCFS, FR-FCFS and PAR-BS
+(Max-Total ranking) inside one batch, and is also used by the test suite to
+validate the ranking logic in isolation from the full simulator.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Literal
+
+from .ranking import batch_loads
+
+__all__ = ["AbstractRequest", "AbstractBatch", "ScheduleResult"]
+
+Policy = Literal["fcfs", "fr-fcfs", "par-bs"]
+
+CONFLICT_COST = Fraction(1)
+HIT_COST = Fraction(1, 2)
+
+
+@dataclass(frozen=True)
+class AbstractRequest:
+    """One request in the abstract batch: (thread, bank, row)."""
+
+    thread: int
+    bank: int
+    row: int
+    order: int = 0  # arrival order within the batch
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of scheduling one batch under a policy."""
+
+    completion: dict[int, Fraction]  # per-thread batch-completion time
+    bank_order: dict[int, list[AbstractRequest]]  # service order per bank
+
+    @property
+    def average_completion(self) -> Fraction:
+        if not self.completion:
+            return Fraction(0)
+        return sum(self.completion.values()) / len(self.completion)
+
+    def as_floats(self) -> dict[int, float]:
+        return {t: float(v) for t, v in self.completion.items()}
+
+
+class AbstractBatch:
+    """A batch of requests scheduled under the Figure 3 model."""
+
+    def __init__(self, requests: list[AbstractRequest]) -> None:
+        self.requests = [
+            AbstractRequest(r.thread, r.bank, r.row, order=i)
+            for i, r in enumerate(requests)
+        ]
+
+    @classmethod
+    def from_bank_columns(cls, columns: dict[int, list[tuple[int, int]]]) -> "AbstractBatch":
+        """Build a batch from per-bank request columns.
+
+        ``columns`` maps a bank id to a list of ``(thread, row)`` pairs,
+        oldest first (the bottom-most request in the paper's figure).
+        Arrival order interleaves the columns round-robin, oldest first.
+        """
+        requests: list[AbstractRequest] = []
+        depth = max((len(col) for col in columns.values()), default=0)
+        order = 0
+        for level in range(depth):
+            for bank in sorted(columns):
+                col = columns[bank]
+                if level < len(col):
+                    thread, row = col[level]
+                    requests.append(AbstractRequest(thread, bank, row, order=order))
+                    order += 1
+        return cls(requests)
+
+    # -- scheduling -------------------------------------------------------------
+    def schedule(self, policy: Policy, ranks: dict[int, int] | None = None) -> ScheduleResult:
+        """Schedule the batch under ``policy``.
+
+        For ``"par-bs"`` the thread ranking defaults to Max-Total computed
+        over the batch (ties broken by thread id for determinism).
+        """
+        key = self._policy_key(policy, ranks)
+        per_bank: dict[int, list[AbstractRequest]] = defaultdict(list)
+        for request in self.requests:
+            per_bank[request.bank].append(request)
+
+        completion: dict[int, Fraction] = defaultdict(Fraction)
+        bank_order: dict[int, list[AbstractRequest]] = {}
+        for bank, queue in per_bank.items():
+            remaining = list(queue)
+            time = Fraction(0)
+            open_row: int | None = None
+            order: list[AbstractRequest] = []
+            while remaining:
+                request = min(remaining, key=lambda r: key(r, open_row))
+                remaining.remove(request)
+                cost = HIT_COST if request.row == open_row else CONFLICT_COST
+                time += cost
+                open_row = request.row
+                order.append(request)
+                completion[request.thread] = max(completion[request.thread], time)
+            bank_order[bank] = order
+        return ScheduleResult(completion=dict(completion), bank_order=bank_order)
+
+    def max_total_ranks(self) -> dict[int, int]:
+        """Deterministic Max-Total ranking over the batch (Rule 3)."""
+        adapters = [_RankAdapter(r.thread, r.bank) for r in self.requests]
+        max_load, total = batch_loads(adapters)  # type: ignore[arg-type]
+        threads = sorted({r.thread for r in self.requests})
+        ordered = sorted(threads, key=lambda t: (max_load[t], total[t], t))
+        return {t: i for i, t in enumerate(ordered)}
+
+    def _policy_key(
+        self, policy: Policy, ranks: dict[int, int] | None
+    ) -> Callable[[AbstractRequest, int | None], tuple]:
+        if policy == "fcfs":
+            return lambda r, open_row: (r.order,)
+        if policy == "fr-fcfs":
+            return lambda r, open_row: (r.row != open_row, r.order)
+        if policy == "par-bs":
+            rank_map = ranks if ranks is not None else self.max_total_ranks()
+            return lambda r, open_row: (r.row != open_row, rank_map[r.thread], r.order)
+        raise ValueError(f"unknown policy {policy!r}")
+
+
+class _RankAdapter:
+    """Duck-typed stand-in for MemoryRequest in batch_loads()."""
+
+    __slots__ = ("thread_id", "channel", "bank")
+
+    def __init__(self, thread_id: int, bank: int) -> None:
+        self.thread_id = thread_id
+        self.channel = 0
+        self.bank = bank

@@ -1,0 +1,81 @@
+"""Hardware cost model for PAR-BS (paper Section 6, Table 1).
+
+PAR-BS extends an FR-FCFS controller's per-request priority with a marked
+bit and a thread rank; the ranking is computed from per-thread and
+per-thread-per-bank request counters.  Table 1 itemizes the additional
+state; for the paper's example configuration (8 cores, 128-entry request
+buffer, 8 banks) it totals 1412 bits, which :func:`hardware_cost`
+reproduces exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["HardwareCost", "hardware_cost", "MARKING_CAP_BITS"]
+
+# The Marking-Cap register is 5 bits in Table 1 (caps up to 31).
+MARKING_CAP_BITS = 5
+
+
+@dataclass(frozen=True)
+class HardwareCost:
+    """Bit counts of the additional state PAR-BS needs beyond FR-FCFS."""
+
+    per_request_bits: int  # marked bit + thread-rank + thread-id, x buffer entries
+    per_thread_per_bank_bits: int  # ReqsInBankPerThread counters
+    per_thread_bits: int  # ReqsPerThread counters
+    individual_bits: int  # TotalMarkedRequests + Marking-Cap
+
+    @property
+    def total_bits(self) -> int:
+        return (
+            self.per_request_bits
+            + self.per_thread_per_bank_bits
+            + self.per_thread_bits
+            + self.individual_bits
+        )
+
+    def breakdown(self) -> str:
+        return (
+            f"per-request: {self.per_request_bits} bits\n"
+            f"per-thread-per-bank counters: {self.per_thread_per_bank_bits} bits\n"
+            f"per-thread counters: {self.per_thread_bits} bits\n"
+            f"individual registers: {self.individual_bits} bits\n"
+            f"total: {self.total_bits} bits"
+        )
+
+
+def hardware_cost(
+    num_threads: int = 8,
+    request_buffer_size: int = 128,
+    num_banks: int = 8,
+) -> HardwareCost:
+    """Additional state (in bits) to implement PAR-BS over FR-FCFS.
+
+    Follows Table 1: each request buffer entry stores a marked bit, a
+    thread rank (``log2 NumThreads`` bits, the only new field in the
+    priority value of Figure 4) and a thread id; ranking needs a
+    per-thread-per-bank and a per-thread request counter (each
+    ``log2 RequestBufferSize`` bits); plus a marked-request count and the
+    Marking-Cap register.
+
+    >>> hardware_cost(8, 128, 8).total_bits
+    1412
+    """
+    if num_threads < 2 or request_buffer_size < 2 or num_banks < 1:
+        raise ValueError("need >= 2 threads, >= 2 buffer entries, >= 1 bank")
+    thread_bits = math.ceil(math.log2(num_threads))
+    count_bits = math.ceil(math.log2(request_buffer_size))
+
+    per_request = request_buffer_size * (1 + thread_bits + thread_bits)
+    per_thread_per_bank = num_threads * num_banks * count_bits
+    per_thread = num_threads * count_bits
+    individual = count_bits + MARKING_CAP_BITS
+    return HardwareCost(
+        per_request_bits=per_request,
+        per_thread_per_bank_bits=per_thread_per_bank,
+        per_thread_bits=per_thread,
+        individual_bits=individual,
+    )

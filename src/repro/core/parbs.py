@@ -1,0 +1,175 @@
+"""PAR-BS: the Parallelism-Aware Batch Scheduler (the paper's contribution).
+
+Combines a :mod:`batching <repro.core.batcher>` engine with
+:mod:`within-batch ranking <repro.core.ranking>` and applies the request
+prioritization rules of Rule 2 (extended with the thread-priority rule of
+Section 5):
+
+1. **BS** — marked requests first;
+2. **PRIORITY** — higher-priority (lower level) threads first;
+3. **RH** — row-hit requests first;
+4. **RANK** — higher-ranked threads first (Max-Total by default);
+5. **FCFS** — older requests first.
+
+The within-batch component is configurable for the Section 8.3.3
+ablations: ``within_batch="par"`` uses a thread ranking (parallelism-aware),
+``"frfcfs"`` and ``"fcfs"`` drop the ranking and fall back to the named
+policy inside batches, isolating the effect of parallelism-awareness from
+batching itself.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..dram.request import MemoryRequest
+from ..schedulers.base import BankKey, Scheduler
+from .batcher import (
+    OPPORTUNISTIC,
+    AdaptiveCapBatcher,
+    Batcher,
+    EslotBatcher,
+    FullBatcher,
+    StaticBatcher,
+)
+from .ranking import UNRANKED, ThreadRanking, make_ranking
+
+__all__ = ["ParBsScheduler", "OPPORTUNISTIC"]
+
+
+class ParBsScheduler(Scheduler):
+    """Parallelism-aware batch scheduling.
+
+    Parameters
+    ----------
+    num_threads:
+        Number of hardware threads sharing the controller.
+    marking_cap:
+        ``Marking-Cap`` — maximum requests marked per thread per bank when a
+        batch forms.  ``None`` disables the cap (paper's "no-c").
+    batching:
+        ``"full"`` (default), ``"static"`` or ``"eslot"`` (Section 4.4),
+        ``"adaptive"`` (full batching with a self-tuning cap — the
+        future-work extension of Section 8.3.1), or a pre-built
+        :class:`~repro.core.batcher.Batcher`.
+    batch_duration:
+        Interval for static batching, in cycles.
+    within_batch:
+        ``"par"`` (ranking-based, default), ``"frfcfs"`` or ``"fcfs"``.
+    ranking:
+        Ranking scheme name for ``within_batch="par"``: ``"max-total"``
+        (default), ``"total-max"``, ``"random"`` or ``"round-robin"``.
+    priorities:
+        Optional thread-priority levels (1 = highest); threads at
+        :data:`OPPORTUNISTIC` receive purely opportunistic service.
+    seed:
+        Seed for random tie-breaking in rankings.
+    """
+
+    name = "PAR-BS"
+
+    def __init__(
+        self,
+        num_threads: int,
+        marking_cap: int | None = 5,
+        batching: str | Batcher = "full",
+        batch_duration: int | None = None,
+        within_batch: str = "par",
+        ranking: str | ThreadRanking = "max-total",
+        priorities: dict[int, int] | None = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        self.num_threads = num_threads
+        self.priorities = dict(priorities or {})
+
+        if isinstance(batching, Batcher):
+            self.batcher = batching
+        elif batching == "full":
+            self.batcher = FullBatcher(marking_cap=marking_cap, priorities=self.priorities)
+        elif batching == "eslot":
+            self.batcher = EslotBatcher(marking_cap=marking_cap, priorities=self.priorities)
+        elif batching == "adaptive":
+            self.batcher = AdaptiveCapBatcher(priorities=self.priorities)
+        elif batching == "static":
+            if batch_duration is None:
+                raise ValueError("static batching requires batch_duration")
+            self.batcher = StaticBatcher(
+                batch_duration, marking_cap=marking_cap, priorities=self.priorities
+            )
+        else:
+            raise ValueError(f"unknown batching discipline {batching!r}")
+        self.batcher.on_new_batch = self._on_new_batch
+
+        if within_batch not in ("par", "frfcfs", "fcfs"):
+            raise ValueError(f"unknown within-batch policy {within_batch!r}")
+        self.within_batch = within_batch
+        if within_batch == "par":
+            self.ranking: ThreadRanking | None = (
+                ranking if isinstance(ranking, ThreadRanking) else make_ranking(ranking, seed)
+            )
+            self.name = f"PAR-BS/{self.batcher.name}/{self.ranking.name}"
+        else:
+            self.ranking = None
+            self.name = f"BS/{self.batcher.name}/{within_batch}"
+        self._ranks: dict[int, int] = {}
+
+    # -- wiring ----------------------------------------------------------------
+    def attach(self, controller) -> None:  # type: ignore[override]
+        super().attach(controller)
+        self.batcher.attach(controller)
+        if isinstance(self.batcher, StaticBatcher):
+            self._schedule_static_tick()
+
+    def _schedule_static_tick(self) -> None:
+        assert isinstance(self.batcher, StaticBatcher)
+        queue = self.controller.queue
+        period = self.batcher.batch_duration
+
+        def tick() -> None:
+            self.batcher.tick(queue.now)
+            queue.schedule_in(period, tick, priority=3)
+
+        queue.schedule_in(period, tick, priority=3)
+
+    def _on_new_batch(self, marked: list[MemoryRequest]) -> None:
+        if self.ranking is None:
+            return
+        # Per the paper's hardware sketch (Section 6), the Max-Total
+        # ranking registers count all buffered requests, so the ranking is
+        # computed over every thread's full backlog; threads with little or
+        # no backlog rank highest (shortest job first).
+        backlog = [
+            r
+            for requests in self.controller._reads.values()
+            for r in requests
+        ]
+        self._ranks = self.ranking.rank(backlog, threads=range(self.num_threads))
+
+    # -- lifecycle hooks ---------------------------------------------------------
+    def on_enqueue(self, request: MemoryRequest, now: int) -> None:
+        request.priority_level = self.priorities.get(request.thread_id, 1)
+        self.batcher.request_arrived(request, now)
+
+    def on_complete(self, request: MemoryRequest, now: int) -> None:
+        self.batcher.request_completed(request, now)
+
+    # -- arbitration ----------------------------------------------------------------
+    def rank_of(self, thread_id: int) -> int:
+        return self._ranks.get(thread_id, UNRANKED)
+
+    def _key(self, request: MemoryRequest) -> tuple:
+        marked_first = not request.marked
+        priority = request.priority_level
+        row_hit_first = not self._row_hit(request)
+        age = (request.arrival_time, request.request_id)
+        if self.within_batch == "par":
+            return (marked_first, priority, row_hit_first, self.rank_of(request.thread_id), *age)
+        if self.within_batch == "frfcfs":
+            return (marked_first, priority, row_hit_first, *age)
+        return (marked_first, priority, *age)  # fcfs
+
+    def select(
+        self, candidates: Sequence[MemoryRequest], bank: BankKey, now: int
+    ) -> MemoryRequest:
+        return min(candidates, key=self._key)

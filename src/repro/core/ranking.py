@@ -1,0 +1,165 @@
+"""Within-batch thread ranking schemes (paper Section 4.2 and 8.3.3).
+
+When a new batch is formed, PAR-BS computes a ranking over all threads with
+marked requests.  The ranking stays fixed while the batch is processed and
+is applied identically across all banks, which is what preserves each
+thread's bank-level parallelism.
+
+``MaxTotalRanking`` is the paper's scheme (Rule 3): shortest-job-first by
+maximum per-bank marked-request count (*max-bank-load*), tie-broken by the
+total number of marked requests (*total-load*), remaining ties broken
+randomly.  The alternatives (Total-Max, random, round-robin) are the
+ablations of Section 8.3.3.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from collections import defaultdict
+from typing import Iterable, Mapping  # noqa: F401 (Iterable used in signatures)
+
+from ..dram.request import MemoryRequest
+
+__all__ = [
+    "ThreadRanking",
+    "MaxTotalRanking",
+    "TotalMaxRanking",
+    "RandomRanking",
+    "RoundRobinRanking",
+    "make_ranking",
+    "batch_loads",
+]
+
+UNRANKED = 1 << 30
+
+
+def batch_loads(
+    marked: Iterable[MemoryRequest],
+) -> tuple[dict[int, int], dict[int, int]]:
+    """Compute (max-bank-load, total-load) per thread over ``marked``.
+
+    Returns two dicts keyed by thread id: the maximum number of marked
+    requests any single bank holds for the thread, and the thread's total
+    marked-request count.
+    """
+    per_bank: dict[tuple[int, int, int], int] = defaultdict(int)
+    total: dict[int, int] = defaultdict(int)
+    for request in marked:
+        per_bank[(request.thread_id, request.channel, request.bank)] += 1
+        total[request.thread_id] += 1
+    max_load: dict[int, int] = defaultdict(int)
+    for (thread_id, _ch, _b), count in per_bank.items():
+        max_load[thread_id] = max(max_load[thread_id], count)
+    return dict(max_load), dict(total)
+
+
+class ThreadRanking(ABC):
+    """Strategy interface: rank threads for one batch.
+
+    ``rank`` returns a mapping from thread id to rank position, where 0 is
+    the highest rank (serviced first).  Per the paper's hardware sketch
+    (Section 6), the ranking registers (``ReqsInBankPerThread``,
+    ``ReqsPerThread``) count *all* buffered requests, so the ranking is
+    computed over every thread's current backlog — a thread with no
+    outstanding requests has zero load and therefore ranks highest (its
+    next request is the "shortest job").
+    """
+
+    name: str = "base"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+        self._batch_index = 0
+
+    def rank(
+        self,
+        requests: list[MemoryRequest],
+        threads: Iterable[int] | None = None,
+    ) -> dict[int, int]:
+        """Rank ``threads`` (default: those present in ``requests``) using
+        the per-bank loads implied by ``requests``."""
+        self._batch_index += 1
+        universe = (
+            sorted(threads)
+            if threads is not None
+            else sorted({r.thread_id for r in requests})
+        )
+        return self._rank(requests, universe)
+
+    @abstractmethod
+    def _rank(
+        self, requests: list[MemoryRequest], threads: list[int]
+    ) -> dict[int, int]: ...
+
+
+class MaxTotalRanking(ThreadRanking):
+    """The paper's Max-Total rule: lower max-bank-load ranks higher, then
+    lower total-load, then random."""
+
+    name = "max-total"
+
+    def _rank(self, requests: list[MemoryRequest], threads: list[int]) -> dict[int, int]:
+        max_load, total = batch_loads(requests)
+        jitter = {t: self._rng.random() for t in threads}
+        ordered = sorted(
+            threads, key=lambda t: (max_load.get(t, 0), total.get(t, 0), jitter[t])
+        )
+        return {t: i for i, t in enumerate(ordered)}
+
+
+class TotalMaxRanking(ThreadRanking):
+    """Total rule first, Max rule as tie-breaker (Section 4.4)."""
+
+    name = "total-max"
+
+    def _rank(self, requests: list[MemoryRequest], threads: list[int]) -> dict[int, int]:
+        max_load, total = batch_loads(requests)
+        jitter = {t: self._rng.random() for t in threads}
+        ordered = sorted(
+            threads, key=lambda t: (total.get(t, 0), max_load.get(t, 0), jitter[t])
+        )
+        return {t: i for i, t in enumerate(ordered)}
+
+
+class RandomRanking(ThreadRanking):
+    """Random rank per batch (ablation: no shortest-job-first)."""
+
+    name = "random"
+
+    def _rank(self, requests: list[MemoryRequest], threads: list[int]) -> dict[int, int]:
+        order = list(threads)
+        self._rng.shuffle(order)
+        return {t: i for i, t in enumerate(order)}
+
+
+class RoundRobinRanking(ThreadRanking):
+    """Rotate thread ranks across consecutive batches (ablation)."""
+
+    name = "round-robin"
+
+    def _rank(self, requests: list[MemoryRequest], threads: list[int]) -> dict[int, int]:
+        if not threads:
+            return {}
+        shift = self._batch_index % len(threads)
+        rotated = threads[shift:] + threads[:shift]
+        return {t: i for i, t in enumerate(rotated)}
+
+
+_SCHEMES: Mapping[str, type[ThreadRanking]] = {
+    "max-total": MaxTotalRanking,
+    "total-max": TotalMaxRanking,
+    "random": RandomRanking,
+    "round-robin": RoundRobinRanking,
+}
+
+
+def make_ranking(name: str, seed: int = 0) -> ThreadRanking:
+    """Build a ranking scheme by name (see :data:`_SCHEMES` keys)."""
+    try:
+        cls = _SCHEMES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown ranking scheme {name!r}; choose from {sorted(_SCHEMES)}"
+        ) from None
+    return cls(seed=seed)

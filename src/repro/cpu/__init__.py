@@ -1,0 +1,6 @@
+"""Trace-driven processor core models."""
+
+from .core import Core, CoreSnapshot, MemoryPort
+from .trace import Trace, TraceEntry
+
+__all__ = ["Core", "CoreSnapshot", "MemoryPort", "Trace", "TraceEntry"]

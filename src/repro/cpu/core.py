@@ -1,0 +1,354 @@
+"""Analytical out-of-order core model.
+
+Models the processor behaviour the paper's motivation rests on (Section 2):
+
+* instructions dispatch in order into a fixed-size instruction window and
+  retire in order at a fixed width (3/cycle in the baseline);
+* a load that misses to DRAM is sent to the memory system at *dispatch*
+  time — so independent misses inside the window are outstanding
+  concurrently (memory-level parallelism);
+* the core stalls when the *oldest* instruction in the window is an
+  incomplete load: overlapped misses stall the core roughly once, while
+  serialized misses stall it once per miss;
+* stores retire immediately (write buffer) and never block commit;
+* at most ``mshrs`` loads are outstanding at once.
+
+Instead of stepping cycle by cycle, the model advances analytically between
+memory events: dispatch and retirement both proceed at the core width, so
+their trajectories are piecewise linear and the core only needs to wake at
+request dispatches and data returns.  This keeps whole-system simulation
+event-driven and fast while matching a cycle-stepped window model at
+retire-width granularity.
+
+Statistics follow the paper's definitions: ``stall_cycles`` counts cycles
+where commit is blocked by an incomplete DRAM load (→ MCPI, memory
+slowdown, AST/req).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+from ..config import CoreConfig
+from ..events import EventQueue
+from .trace import Trace
+
+__all__ = ["Core", "CoreSnapshot", "MemoryPort"]
+
+
+class MemoryPort(Protocol):
+    """Interface the core uses to reach the memory hierarchy."""
+
+    def access(
+        self,
+        thread_id: int,
+        address: int,
+        is_write: bool,
+        on_complete: Callable[[], None] | None,
+    ) -> None:
+        """Issue an access.  For reads, ``on_complete`` fires when data
+        returns; writes complete in the background."""
+
+
+@dataclass(frozen=True)
+class CoreSnapshot:
+    """Core statistics frozen at first trace completion."""
+
+    cycles: int
+    instructions: int
+    stall_cycles: int
+    loads: int
+    stores: int
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def mcpi(self) -> float:
+        """Memory cycles per instruction (paper Table 3)."""
+        return self.stall_cycles / self.instructions if self.instructions else 0.0
+
+    @property
+    def avg_stall_per_request(self) -> float:
+        """AST/req: average stall time per DRAM load request (paper §7)."""
+        return self.stall_cycles / self.loads if self.loads else 0.0
+
+
+class _PendingLoad:
+    __slots__ = ("index", "done", "gpos")
+
+    def __init__(self, index: int, gpos: int) -> None:
+        self.index = index  # global instruction index (for commit blocking)
+        self.gpos = gpos  # global trace position (for dependency tracking)
+        self.done = False
+
+
+class Core:
+    """One processing core executing a trace against a memory port."""
+
+    def __init__(
+        self,
+        thread_id: int,
+        trace: Trace,
+        queue: EventQueue,
+        memory: MemoryPort,
+        config: CoreConfig | None = None,
+        repeat: bool = True,
+    ) -> None:
+        self.thread_id = thread_id
+        self.trace = trace
+        self.queue = queue
+        self.memory = memory
+        self.config = config or CoreConfig()
+        self.repeat = repeat
+
+        # Progress pointers, in instructions.
+        self._t = 0  # time of last state sync
+        self._retired = 0
+        self._dispatched = 0
+        self._trace_pos = 0
+        self._base_instructions = 0  # instructions from completed trace passes
+        self._next_mem_index = self._mem_index(0)
+
+        self._pending: list[_PendingLoad] = []  # incomplete loads, program order
+        self._incomplete_gpos: set[int] = set()  # for dependency checks
+        # Accesses dispatched but waiting for a parent load's data before
+        # their request can be sent: parent gpos -> [(address, is_write, load)].
+        self._dep_waiters: dict[int, list[tuple[int, bool, _PendingLoad | None]]] = {}
+        self._pass_count = 0
+        self.mshr_in_use = 0
+
+        # Statistics.
+        self.stall_cycles = 0
+        self.loads_issued = 0
+        self.stores_issued = 0
+        self.finished = False
+        self.finish_time: int | None = None
+        self.snapshot: CoreSnapshot | None = None
+        self.on_finished: Callable[["Core"], None] | None = None
+
+        self._wake_at: int | None = None
+
+    # -- derived trace positions ---------------------------------------------
+    def _mem_index(self, pos: int) -> int | None:
+        """Global instruction index of the ``pos``-th memory instruction in
+        the current trace pass, or None past the end."""
+        if pos >= len(self.trace):
+            return None
+        # Cache cumulative indices on the trace object (shared across cores).
+        cum = getattr(self.trace, "_cum_index", None)
+        if cum is None:
+            cum = []
+            acc = 0
+            for entry in self.trace.entries:
+                acc += entry.gap + 1
+                cum.append(acc)
+            self.trace._cum_index = cum  # type: ignore[attr-defined]
+        return self._base_instructions + cum[pos]
+
+    @property
+    def _trace_end_index(self) -> int:
+        return self._base_instructions + self.trace.total_instructions
+
+    @property
+    def instructions_retired(self) -> int:
+        return self._retired
+
+    # -- simulation wiring --------------------------------------------------------
+    def start(self) -> None:
+        """Register the core's first wake-up with the event queue."""
+        self.queue.schedule(0, self._wake, priority=4)
+
+    def _wake(self) -> None:
+        self._wake_at = None
+        self._advance(self.queue.now)
+        self._reschedule()
+
+    def _on_data(self, load: _PendingLoad) -> None:
+        self._advance(self.queue.now)
+        load.done = True
+        self.mshr_in_use -= 1
+        self._incomplete_gpos.discard(load.gpos)
+        while self._pending and self._pending[0].done:
+            self._pending.pop(0)
+        # Release accesses that were waiting on this load's data.
+        for address, is_write, waiter in self._dep_waiters.pop(load.gpos, ()):
+            self._send(address, is_write, waiter)
+        self._advance(self.queue.now)
+        self._reschedule()
+
+    # -- the analytical engine -----------------------------------------------------
+    def _advance(self, now: int) -> None:
+        """Bring retirement/dispatch pointers forward to time ``now``."""
+        width = self.config.width
+        window = self.config.window_size
+        while self._t < now:
+            r_limit = (
+                self._pending[0].index - 1
+                if self._pending
+                else self._trace_end_index
+            )
+            next_entry = (
+                self.trace[self._trace_pos] if self._trace_pos < len(self.trace) else None
+            )
+            dispatch_blocked = (
+                next_entry is not None
+                and not next_entry.is_write
+                and self.mshr_in_use >= self.config.mshrs
+            )
+            if next_entry is None:
+                d_stop = self._trace_end_index
+            elif dispatch_blocked:
+                d_stop = self._next_mem_index - 1
+            else:
+                d_stop = self._next_mem_index
+
+            dt_max = now - self._t
+            steps = [dt_max]
+            if self._retired < r_limit:
+                steps.append(math.ceil((r_limit - self._retired) / width))
+            if self._dispatched < d_stop:
+                steps.append(math.ceil((d_stop - self._dispatched) / width))
+            dt = min(steps)
+            dt = max(1, min(dt, dt_max))
+
+            retired_raw = min(r_limit, self._retired + width * dt)
+            dispatched = min(d_stop, retired_raw + window, self._dispatched + width * dt)
+            retired = min(retired_raw, dispatched)
+
+            # Stall accounting: commit blocked by an incomplete DRAM load.
+            if self._pending and self._retired >= r_limit:
+                self.stall_cycles += dt
+
+            self._t += dt
+            self._retired = retired
+            self._dispatched = dispatched
+
+            if (
+                next_entry is not None
+                and not dispatch_blocked
+                and self._dispatched >= self._next_mem_index
+            ):
+                self._issue(next_entry)
+
+            self._maybe_complete_pass()
+            if self.finished and not self.repeat:
+                break
+        self._maybe_complete_pass()
+
+    def _maybe_complete_pass(self) -> None:
+        if (
+            self._trace_pos >= len(self.trace)
+            and not self._pending
+            and self._retired >= self._trace_end_index
+        ):
+            self._complete_pass()
+
+    def _issue(self, entry) -> None:
+        """Dispatch the next memory instruction.
+
+        Independent accesses send their memory request immediately; an
+        access with an incomplete ``depends_on`` parent is parked until the
+        parent's data returns (its window slot and MSHR are held meanwhile,
+        and it blocks commit like any other outstanding load).
+        """
+        index = self._next_mem_index
+        gpos = self._pass_count * len(self.trace) + self._trace_pos
+        self._trace_pos += 1
+        self._next_mem_index = self._mem_index(self._trace_pos)
+
+        load: _PendingLoad | None = None
+        if not entry.is_write:
+            load = _PendingLoad(index, gpos)
+            self._pending.append(load)
+            self._incomplete_gpos.add(gpos)
+            # The load cannot retire before its data returns; commit stops
+            # just below it even if the segment arithmetic reached further.
+            self._retired = min(self._retired, index - 1)
+            self.mshr_in_use += 1
+            self.loads_issued += 1
+        else:
+            self.stores_issued += 1
+
+        if entry.depends_on is not None:
+            parent_gpos = self._pass_count * len(self.trace) + entry.depends_on
+            if parent_gpos in self._incomplete_gpos:
+                self._dep_waiters.setdefault(parent_gpos, []).append(
+                    (entry.address, entry.is_write, load)
+                )
+                return
+        self._send(entry.address, entry.is_write, load)
+
+    def _send(self, address: int, is_write: bool, load: _PendingLoad | None) -> None:
+        """Issue the actual memory request for a dispatched access."""
+        if is_write:
+            self.memory.access(self.thread_id, address, True, None)
+            return
+        assert load is not None
+        self.memory.access(
+            self.thread_id, address, False, lambda load=load: self._on_data(load)
+        )
+
+    def _complete_pass(self) -> None:
+        """The current trace pass fully retired."""
+        if not self.finished:
+            self.finished = True
+            self.finish_time = self._t
+            self.snapshot = CoreSnapshot(
+                cycles=self._t,
+                instructions=self._retired,
+                stall_cycles=self.stall_cycles,
+                loads=self.loads_issued,
+                stores=self.stores_issued,
+            )
+            if self.on_finished is not None:
+                self.on_finished(self)
+        if self.repeat and len(self.trace) > 0:
+            self._base_instructions = self._trace_end_index
+            self._pass_count += 1
+            self._trace_pos = 0
+            self._next_mem_index = self._mem_index(0)
+
+    # -- wake-up planning -------------------------------------------------------------
+    def _next_self_event(self) -> int | None:
+        """Earliest future time the core makes progress without external
+        events (i.e., the next request dispatch or final retirement)."""
+        width = self.config.width
+        window = self.config.window_size
+        r_limit = (
+            self._pending[0].index - 1 if self._pending else self._trace_end_index
+        )
+        next_entry = (
+            self.trace[self._trace_pos] if self._trace_pos < len(self.trace) else None
+        )
+        if next_entry is None:
+            # Drain: wake when the last instruction could retire.
+            if self._retired >= self._trace_end_index or self._pending:
+                return None
+            needed = self._trace_end_index - self._retired
+            return self._t + math.ceil(needed / width)
+        if not next_entry.is_write and self.mshr_in_use >= self.config.mshrs:
+            return None  # blocked on MSHRs; a completion will wake us
+        target = self._next_mem_index
+        # Dispatch must reach `target`; it is limited by the window.
+        if target > r_limit + window:
+            return None  # blocked on the window behind a pending load
+        needed = max(target - self._dispatched, target - window - self._retired)
+        if needed <= 0:
+            return self._t  # should have been issued already (defensive)
+        return self._t + math.ceil(needed / width)
+
+    def _reschedule(self) -> None:
+        if self.finished and not self.repeat:
+            return
+        when = self._next_self_event()
+        if when is None:
+            return
+        when = max(when, self.queue.now)
+        if self._wake_at is not None and self._wake_at <= when:
+            return
+        self._wake_at = when
+        self.queue.schedule(when, self._wake, priority=4)

@@ -1,0 +1,111 @@
+"""Instruction traces driving the core model.
+
+A trace is a sequence of :class:`TraceEntry` items.  Each entry represents
+``gap`` non-memory instructions followed by one memory instruction (a load
+or store that accesses the memory hierarchy).  This is the standard
+trace-driven abstraction for memory-system studies: instruction semantics
+are irrelevant, only the interleaving of computation and memory accesses
+matters.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+__all__ = ["TraceEntry", "Trace"]
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """``gap`` non-memory instructions, then one memory access.
+
+    ``depends_on`` optionally names an earlier entry (by position in the
+    trace) whose data this access needs before it can be issued — the
+    trace-level encoding of a dependent (e.g. pointer-chasing) load.  The
+    core will not dispatch such an access until the named load completes,
+    which is what bounds a thread's inherent memory-level parallelism.
+    """
+
+    gap: int
+    address: int
+    is_write: bool = False
+    depends_on: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.gap < 0:
+            raise ValueError("gap must be non-negative")
+        if self.address < 0:
+            raise ValueError("address must be non-negative")
+        if self.depends_on is not None and self.depends_on < 0:
+            raise ValueError("depends_on must be a non-negative entry index")
+
+
+class Trace:
+    """An immutable sequence of trace entries with derived statistics."""
+
+    def __init__(self, entries: Iterable[TraceEntry], name: str = "trace") -> None:
+        self.entries: tuple[TraceEntry, ...] = tuple(entries)
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[TraceEntry]:
+        return iter(self.entries)
+
+    def __getitem__(self, index: int) -> TraceEntry:
+        return self.entries[index]
+
+    @property
+    def total_instructions(self) -> int:
+        """Instructions in the trace (memory instructions included)."""
+        return sum(e.gap + 1 for e in self.entries)
+
+    @property
+    def memory_accesses(self) -> int:
+        return len(self.entries)
+
+    @property
+    def reads(self) -> int:
+        return sum(1 for e in self.entries if not e.is_write)
+
+    @property
+    def writes(self) -> int:
+        return sum(1 for e in self.entries if e.is_write)
+
+    def accesses_per_kilo_instruction(self) -> float:
+        """Memory accesses per 1000 instructions (≈ MPKI when entries are
+        last-level-cache misses)."""
+        total = self.total_instructions
+        return 1000.0 * len(self.entries) / total if total else 0.0
+
+    # -- persistence --------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Save as JSON lines: one ``[gap, address, is_write]`` per line."""
+        path = Path(path)
+        with path.open("w") as fh:
+            fh.write(json.dumps({"name": self.name}) + "\n")
+            for entry in self.entries:
+                fh.write(
+                    json.dumps([entry.gap, entry.address, entry.is_write, entry.depends_on])
+                    + "\n"
+                )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Trace":
+        path = Path(path)
+        with path.open() as fh:
+            header = json.loads(fh.readline())
+            entries = [
+                TraceEntry(
+                    gap=e[0],
+                    address=e[1],
+                    is_write=bool(e[2]),
+                    depends_on=e[3] if len(e) > 3 else None,
+                )
+                for e in (json.loads(line) for line in fh if line.strip())
+            ]
+        return cls(entries, name=header.get("name", path.stem))

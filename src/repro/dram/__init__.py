@@ -1,0 +1,24 @@
+"""DRAM substrate: timing, banks, buses, channels and the memory controller."""
+
+from .address import AddressMapping, DramCoordinates
+from .bank import AccessOutcome, Bank
+from .bus import DataBus
+from .channel import Channel
+from .controller import MemoryController, ThreadMemStats
+from .request import MemoryRequest, RequestType
+from .timing import DramTiming, ddr2_800
+
+__all__ = [
+    "AddressMapping",
+    "DramCoordinates",
+    "AccessOutcome",
+    "Bank",
+    "DataBus",
+    "Channel",
+    "MemoryController",
+    "ThreadMemStats",
+    "MemoryRequest",
+    "RequestType",
+    "DramTiming",
+    "ddr2_800",
+]

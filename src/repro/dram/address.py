@@ -1,0 +1,92 @@
+"""Physical-address to DRAM-coordinate mapping.
+
+The baseline system maps a physical cache-line address to
+``(channel, bank, row, column)``.  Following the paper (Table 2), banks are
+selected with an XOR-based permutation of row bits into bank bits
+[Frailong et al., Zhang et al.], which spreads row-conflict streams across
+banks and is standard in modern controllers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AddressMapping", "DramCoordinates"]
+
+CACHE_LINE_BYTES = 64
+
+
+@dataclass(frozen=True)
+class DramCoordinates:
+    channel: int
+    bank: int
+    row: int
+    column: int
+
+
+@dataclass(frozen=True)
+class AddressMapping:
+    """Maps byte addresses to DRAM coordinates.
+
+    Layout (from least to most significant): line offset, column, channel,
+    bank, row.  With ``xor_bank_hash`` enabled the bank index is XORed with
+    the low bits of the row, the permutation-based interleaving of the
+    baseline configuration.
+
+    Parameters
+    ----------
+    num_channels: number of independent DRAM channels.
+    num_banks: banks per channel.
+    row_bytes: row-buffer size in bytes per bank (paper: 2 KB).
+    xor_bank_hash: enable XOR-based bank permutation.
+    """
+
+    num_channels: int = 1
+    num_banks: int = 8
+    row_bytes: int = 2048
+    xor_bank_hash: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_channels < 1 or self.num_banks < 1:
+            raise ValueError("need at least one channel and one bank")
+        if self.row_bytes % CACHE_LINE_BYTES != 0:
+            raise ValueError("row size must be a multiple of the line size")
+        if self.num_banks & (self.num_banks - 1):
+            raise ValueError("num_banks must be a power of two")
+
+    @property
+    def columns_per_row(self) -> int:
+        return self.row_bytes // CACHE_LINE_BYTES
+
+    def map(self, address: int) -> DramCoordinates:
+        """Map a byte ``address`` to DRAM coordinates."""
+        if address < 0:
+            raise ValueError("address must be non-negative")
+        line = address // CACHE_LINE_BYTES
+        column = line % self.columns_per_row
+        line //= self.columns_per_row
+        channel = line % self.num_channels
+        line //= self.num_channels
+        bank = line % self.num_banks
+        row = line // self.num_banks
+        if self.xor_bank_hash:
+            bank ^= row % self.num_banks
+        return DramCoordinates(channel=channel, bank=bank, row=row, column=column)
+
+    def compose(self, channel: int, bank: int, row: int, column: int = 0) -> int:
+        """Inverse of :meth:`map`: build a byte address hitting the given
+        coordinates.  Useful for constructing synthetic traces that target a
+        specific bank and row.
+        """
+        if not (0 <= channel < self.num_channels):
+            raise ValueError("channel out of range")
+        if not (0 <= bank < self.num_banks):
+            raise ValueError("bank out of range")
+        if row < 0 or not (0 <= column < self.columns_per_row):
+            raise ValueError("row/column out of range")
+        raw_bank = bank
+        if self.xor_bank_hash:
+            raw_bank = bank ^ (row % self.num_banks)
+        line = (row * self.num_banks + raw_bank) * self.num_channels + channel
+        line = line * self.columns_per_row + column
+        return line * CACHE_LINE_BYTES

@@ -1,0 +1,116 @@
+"""DRAM bank model with a row buffer and DDR timing bookkeeping.
+
+The controller schedules at *request* granularity: when a request is issued
+to a bank, the bank lays out the full precharge/activate/CAS/burst command
+sequence with proper DDR2 timing and reports when the data transfer
+completes and when the bank can accept the next request.  (See DESIGN.md §4
+for why this abstraction level is sufficient for the paper's evaluation.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .bus import DataBus
+from .request import MemoryRequest, RequestType
+from .timing import DramTiming
+
+__all__ = ["Bank", "AccessOutcome"]
+
+
+@dataclass(frozen=True)
+class AccessOutcome:
+    """Timeline of one serviced request."""
+
+    start: int  # first command issue time
+    data_start: int  # first beat on the data bus
+    completion: int  # last beat on the data bus (request done)
+    bank_free: int  # bank may start its next access
+    row_result: str  # "hit" | "closed" | "conflict"
+
+
+class Bank:
+    """One DRAM bank: a row buffer plus timing state.
+
+    Attributes
+    ----------
+    open_row:
+        The row currently latched in the row buffer (``None`` when
+        precharged / closed).
+    busy_until:
+        The bank cannot begin a new access before this time.
+    """
+
+    def __init__(self, timing: DramTiming, bank_id: int = 0) -> None:
+        self.timing = timing
+        self.bank_id = bank_id
+        self.open_row: int | None = None
+        self.busy_until: int = 0
+        self._activate_time: int = -(10**9)  # last ACT, for tRAS
+        self._write_recovery_until: int = 0  # earliest precharge after a write
+
+        # Statistics.
+        self.accesses: int = 0
+        self.row_hits: int = 0
+        self.row_conflicts: int = 0
+
+    def row_state(self, row: int) -> str:
+        """Classify an access to ``row``: ``hit``, ``closed`` or ``conflict``."""
+        if self.open_row is None:
+            return "closed"
+        return "hit" if self.open_row == row else "conflict"
+
+    def earliest_start(self, now: int) -> int:
+        """Earliest time a new access could begin its first command."""
+        return max(now, self.busy_until)
+
+    def service(self, request: MemoryRequest, now: int, bus: DataBus) -> AccessOutcome:
+        """Service ``request`` starting no earlier than ``now``.
+
+        Lays out the command sequence implied by the current row-buffer
+        state, reserves the shared data bus for the burst, updates the bank
+        state, and returns the access timeline.
+        """
+        t = self.timing
+        start = self.earliest_start(now)
+        row_result = self.row_state(request.row)
+
+        cursor = start
+        if row_result == "conflict":
+            # Precharge may not violate tRAS (row open time) or tWR.
+            cursor = max(cursor, self._activate_time + t.tRAS, self._write_recovery_until)
+            cursor += t.tRP  # precharge done
+            cursor += t.tRCD  # activate done
+            self._activate_time = cursor - t.tRCD
+        elif row_result == "closed":
+            cursor = max(cursor, self._write_recovery_until)
+            self._activate_time = cursor
+            cursor += t.tRCD
+        # CAS command: read/write latency until data.
+        cas_done = cursor + t.tCL
+        data_start = bus.reserve(cas_done)
+        completion = data_start + t.tBUS
+
+        self.open_row = request.row
+        self.busy_until = completion
+        if request.type is RequestType.WRITE:
+            self._write_recovery_until = completion + t.tWR
+
+        self.accesses += 1
+        if row_result == "hit":
+            self.row_hits += 1
+        elif row_result == "conflict":
+            self.row_conflicts += 1
+
+        return AccessOutcome(
+            start=start,
+            data_start=data_start,
+            completion=completion,
+            bank_free=completion,
+            row_result=row_result,
+        )
+
+    @property
+    def row_hit_rate(self) -> float:
+        """Fraction of accesses that hit in the row buffer."""
+        return self.row_hits / self.accesses if self.accesses else 0.0

@@ -1,0 +1,39 @@
+"""Shared per-channel DRAM data bus.
+
+All banks on a channel share one data bus; each 64-byte burst occupies the
+bus for ``tBUS`` cycles.  Bursts are serialized in reservation order, which
+models the data-bus conflicts the paper lists as a source of inter-thread
+interference.
+"""
+
+from __future__ import annotations
+
+from .timing import DramTiming
+
+__all__ = ["DataBus"]
+
+
+class DataBus:
+    """Earliest-free-time model of a shared burst-transfer bus."""
+
+    def __init__(self, timing: DramTiming) -> None:
+        self.timing = timing
+        self.free_at: int = 0
+        self.busy_cycles: int = 0
+        self.transfers: int = 0
+
+    def reserve(self, earliest: int) -> int:
+        """Reserve a burst slot starting no earlier than ``earliest``.
+
+        Returns the actual start time of the burst and advances the bus
+        state.
+        """
+        start = max(earliest, self.free_at)
+        self.free_at = start + self.timing.tBUS
+        self.busy_cycles += self.timing.tBUS
+        self.transfers += 1
+        return start
+
+    def utilization(self, elapsed: int) -> float:
+        """Fraction of ``elapsed`` cycles the bus spent transferring data."""
+        return self.busy_cycles / elapsed if elapsed > 0 else 0.0

@@ -1,0 +1,41 @@
+"""A DRAM channel: a set of banks sharing one data bus and command bus."""
+
+from __future__ import annotations
+
+from .bank import Bank
+from .bus import DataBus
+from .timing import DramTiming
+
+__all__ = ["Channel"]
+
+
+class Channel:
+    """One independent DRAM channel.
+
+    The command bus is modeled as a minimum inter-issue gap of one DRAM
+    clock (``tCK``) between scheduling decisions on the same channel; the
+    data bus is modeled explicitly by :class:`DataBus`.
+    """
+
+    def __init__(self, timing: DramTiming, num_banks: int, channel_id: int = 0) -> None:
+        if num_banks < 1:
+            raise ValueError("a channel needs at least one bank")
+        self.timing = timing
+        self.channel_id = channel_id
+        self.banks = [Bank(timing, bank_id=i) for i in range(num_banks)]
+        self.bus = DataBus(timing)
+        self._last_command: int = -timing.tCK
+
+    def command_slot(self, earliest: int) -> int:
+        """Next command-bus slot at or after ``earliest``; consumes the slot."""
+        slot = max(earliest, self._last_command + self.timing.tCK)
+        self._last_command = slot
+        return slot
+
+    def next_command_time(self, earliest: int) -> int:
+        """Next command-bus slot without consuming it."""
+        return max(earliest, self._last_command + self.timing.tCK)
+
+    @property
+    def num_banks(self) -> int:
+        return len(self.banks)

@@ -1,0 +1,269 @@
+"""Event-driven DRAM memory controller.
+
+The controller owns the request buffer, the write buffer, and the channel /
+bank / bus models.  Arbitration is delegated to a pluggable
+:class:`~repro.schedulers.base.Scheduler`.  Policy invariants implemented
+here, common to every scheduler in the paper (Section 7.2):
+
+* read requests are prioritized over write requests, except when the write
+  buffer exceeds its drain watermark;
+* at most one request is in service per bank; the bank executes its full
+  command sequence with DDR2 timing (see :mod:`repro.dram.bank`);
+* one command-bus slot (one DRAM clock) separates issue decisions on a
+  channel.
+
+Per-thread statistics gathered here feed the paper's metrics: bank-level
+parallelism (BLP, the time-average number of banks concurrently servicing a
+thread while at least one is), row-buffer hit rate, and request latencies
+including the worst case.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from ..events import EventQueue
+from .channel import Channel
+from .request import MemoryRequest, RequestType
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..config import DramConfig
+    from ..schedulers.base import Scheduler
+
+__all__ = ["MemoryController", "ThreadMemStats"]
+
+
+@dataclass
+class ThreadMemStats:
+    """Per-thread statistics collected by the controller."""
+
+    reads: int = 0
+    writes: int = 0
+    row_hits: int = 0
+    row_conflicts: int = 0
+    latency_sum: int = 0
+    latency_max: int = 0
+    # BLP accounting: integral of (#banks servicing this thread) over the
+    # time at least one bank is servicing it.
+    blp_integral: float = 0.0
+    busy_time: int = 0
+    in_service: int = 0
+    _last_change: int = 0
+
+    def _advance(self, now: int) -> None:
+        if self.in_service > 0:
+            span = now - self._last_change
+            self.blp_integral += span * self.in_service
+            self.busy_time += span
+        self._last_change = now
+
+    def service_started(self, now: int) -> None:
+        self._advance(now)
+        self.in_service += 1
+
+    def service_finished(self, now: int) -> None:
+        self._advance(now)
+        self.in_service -= 1
+
+    @property
+    def bank_level_parallelism(self) -> float:
+        """Average number of requests in service while any is (paper §7)."""
+        return self.blp_integral / self.busy_time if self.busy_time else 0.0
+
+    @property
+    def row_hit_rate(self) -> float:
+        total = self.row_hits + self.row_conflicts
+        return self.row_hits / total if total else 0.0
+
+    @property
+    def avg_latency(self) -> float:
+        total = self.reads + self.writes
+        return self.latency_sum / total if total else 0.0
+
+
+class MemoryController:
+    """Shared DRAM controller for a CMP."""
+
+    def __init__(
+        self,
+        queue: EventQueue,
+        config: "DramConfig",
+        scheduler: "Scheduler",
+        num_threads: int,
+    ) -> None:
+        self.queue = queue
+        self.config = config
+        self.scheduler = scheduler
+        self.num_threads = num_threads
+        self.timing = config.timing
+        self.channels = [
+            Channel(config.timing, config.num_banks, channel_id=c)
+            for c in range(config.num_channels)
+        ]
+        # Pending (not yet issued) requests per (channel, bank), split by type.
+        self._reads: dict[tuple[int, int], list[MemoryRequest]] = defaultdict(list)
+        self._writes: dict[tuple[int, int], list[MemoryRequest]] = defaultdict(list)
+        self._write_occupancy = 0
+        self._draining_writes = False
+        # A wake event is pending per bank at this time (dedup).
+        self._bank_wake: dict[tuple[int, int], int] = {}
+
+        self.thread_stats: dict[int, ThreadMemStats] = defaultdict(ThreadMemStats)
+        self.total_reads = 0
+        self.total_writes = 0
+        self.read_occupancy = 0
+        self.peak_read_occupancy = 0
+
+        scheduler.attach(self)
+
+    # ------------------------------------------------------------------ API
+    def pending_reads(self, thread_id: int | None = None) -> int:
+        """Number of read requests waiting or in service."""
+        if thread_id is None:
+            return self.read_occupancy
+        return sum(
+            1
+            for reqs in self._reads.values()
+            for r in reqs
+            if r.thread_id == thread_id
+        )
+
+    def enqueue(self, request: MemoryRequest) -> None:
+        """Accept a new request from a core/cache."""
+        request.arrival_time = self.queue.now
+        key = (request.channel, request.bank)
+        if request.is_read:
+            self._reads[key].append(request)
+            self.read_occupancy += 1
+            self.peak_read_occupancy = max(self.peak_read_occupancy, self.read_occupancy)
+            self.total_reads += 1
+        else:
+            self._writes[key].append(request)
+            self._write_occupancy += 1
+            self.total_writes += 1
+            if self._write_occupancy > self.config.write_drain_high:
+                self._draining_writes = True
+        self.scheduler.on_enqueue(request, self.queue.now)
+        self._schedule_wake(key, self.queue.now)
+
+    # --------------------------------------------------------- event plumbing
+    def _schedule_wake(self, key: tuple[int, int], when: int) -> None:
+        """Schedule an arbitration attempt for bank ``key`` at ``when``,
+        deduplicating redundant wakes."""
+        pending = self._bank_wake.get(key)
+        if pending is not None and pending <= when:
+            return
+        self._bank_wake[key] = when
+        self.queue.schedule(when, lambda: self._wake(key), priority=1)
+
+    def _wake(self, key: tuple[int, int]) -> None:
+        if self._bank_wake.get(key) != self.queue.now:
+            # Superseded by an earlier wake that already ran.
+            if self._bank_wake.get(key, -1) < self.queue.now:
+                self._bank_wake.pop(key, None)
+            else:
+                return
+        else:
+            self._bank_wake.pop(key, None)
+        self._try_issue(key)
+
+    def _try_issue(self, key: tuple[int, int]) -> None:
+        channel_id, bank_id = key
+        channel = self.channels[channel_id]
+        bank = channel.banks[bank_id]
+        now = self.queue.now
+        if bank.earliest_start(now) > now:
+            self._schedule_wake(key, bank.earliest_start(now))
+            return
+        request = self._pick(key, now)
+        if request is None:
+            return
+        # Consume a command-bus slot; if the command bus pushes us into the
+        # future, retry then rather than issuing early.
+        slot = channel.next_command_time(now)
+        if slot > now:
+            self._schedule_wake(key, slot)
+            return
+        channel.command_slot(now)
+        self._issue(request, key, now)
+
+    def _pick(self, key: tuple[int, int], now: int) -> MemoryRequest | None:
+        reads = self._reads.get(key) or []
+        writes = self._writes.get(key) or []
+        if self._draining_writes and writes:
+            return self._pick_write(writes)
+        if reads:
+            return self.scheduler.select(reads, key, now)
+        if writes:
+            return self._pick_write(writes)
+        return None
+
+    @staticmethod
+    def _pick_write(writes: list[MemoryRequest]) -> MemoryRequest:
+        # Writes are drained oldest-first; they are latency-insensitive.
+        return min(writes, key=lambda r: (r.arrival_time, r.request_id))
+
+    def _issue(self, request: MemoryRequest, key: tuple[int, int], now: int) -> None:
+        channel = self.channels[key[0]]
+        bank = channel.banks[key[1]]
+        if request.is_read:
+            self._reads[key].remove(request)
+            self.read_occupancy -= 1
+        else:
+            self._writes[key].remove(request)
+            self._write_occupancy -= 1
+            if self._write_occupancy <= self.config.write_drain_low:
+                self._draining_writes = False
+        request.issue_time = now
+        outcome = bank.service(request, now, channel.bus)
+        request.service_outcome = outcome
+
+        stats = self.thread_stats[request.thread_id]
+        if request.is_read:
+            # BLP (paper §7) is defined over the thread's demand requests.
+            stats.service_started(now)
+        if outcome.row_result == "hit":
+            stats.row_hits += 1
+        else:
+            stats.row_conflicts += 1
+
+        self.scheduler.on_issue(request, now)
+        self.queue.schedule(
+            outcome.completion, lambda: self._complete(request), priority=0
+        )
+        # The bank can take its next request once this access releases it.
+        self._schedule_wake(key, outcome.bank_free)
+
+    def _complete(self, request: MemoryRequest) -> None:
+        now = self.queue.now
+        request.completion_time = now
+        stats = self.thread_stats[request.thread_id]
+        if request.is_read:
+            stats.service_finished(now)
+        latency = request.latency + self.timing.overhead
+        stats.latency_sum += latency
+        stats.latency_max = max(stats.latency_max, latency)
+        if request.is_read:
+            stats.reads += 1
+        else:
+            stats.writes += 1
+        self.scheduler.on_complete(request, now)
+        if request.on_complete is not None:
+            # The fixed controller/interconnect overhead is charged on the
+            # response path.
+            self.queue.schedule(
+                now + self.timing.overhead,
+                lambda: request.on_complete(request),
+                priority=2,
+            )
+
+    # ------------------------------------------------------------- reporting
+    def worst_case_latency(self) -> int:
+        """Worst request latency observed across all threads."""
+        return max((s.latency_max for s in self.thread_stats.values()), default=0)
+
+    def outstanding(self) -> int:
+        """Requests waiting in the buffers (not yet issued)."""
+        return self.read_occupancy + self._write_occupancy

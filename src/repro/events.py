@@ -1,0 +1,93 @@
+"""Deterministic discrete-event simulation kernel.
+
+Every component in the simulator (cores, caches, the DRAM controller)
+advances time through a single :class:`EventQueue`.  Events are ordered by
+``(time, priority, sequence)``; the monotonically increasing sequence number
+makes the simulation fully deterministic for equal-time events regardless of
+heap internals.
+
+Time is measured in integer CPU cycles (4 GHz in the baseline configuration,
+so one cycle is 0.25 ns).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+__all__ = ["EventQueue", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation reaches an inconsistent state."""
+
+
+class EventQueue:
+    """A priority queue of timed callbacks driving the simulation.
+
+    Example
+    -------
+    >>> q = EventQueue()
+    >>> hits = []
+    >>> q.schedule(10, lambda: hits.append(q.now))
+    >>> q.run()
+    1
+    >>> hits
+    [10]
+    """
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._heap: list[tuple[int, int, int, Callable[[], None]]] = []
+        self._seq: int = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, when: int, callback: Callable[[], None], priority: int = 0) -> None:
+        """Schedule ``callback`` to run at absolute time ``when``.
+
+        ``priority`` breaks ties between events at the same time; lower
+        priorities run first.  Scheduling in the past is an error.
+        """
+        if when < self.now:
+            raise SimulationError(
+                f"cannot schedule event at {when}, current time is {self.now}"
+            )
+        heapq.heappush(self._heap, (when, priority, self._seq, callback))
+        self._seq += 1
+
+    def schedule_in(self, delay: int, callback: Callable[[], None], priority: int = 0) -> None:
+        """Schedule ``callback`` to run ``delay`` cycles from now."""
+        self.schedule(self.now + delay, callback, priority)
+
+    def step(self) -> bool:
+        """Run the earliest pending event.  Returns ``False`` if none remain."""
+        if not self._heap:
+            return False
+        when, _prio, _seq, callback = heapq.heappop(self._heap)
+        if when < self.now:
+            raise SimulationError("event heap time went backwards")
+        self.now = when
+        callback()
+        return True
+
+    def run(self, until: int | None = None, max_events: int | None = None) -> int:
+        """Run events until the queue drains, ``until`` is passed, or
+        ``max_events`` have executed.  Returns the number of events run.
+        """
+        count = 0
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                break
+            if max_events is not None and count >= max_events:
+                break
+            self.step()
+            count += 1
+        if until is not None and self.now < until:
+            self.now = until
+        return count
+
+    def peek_time(self) -> int | None:
+        """Time of the next pending event, or ``None`` if the queue is empty."""
+        return self._heap[0][0] if self._heap else None

@@ -1,0 +1,132 @@
+"""Aggregate experiments: Figures 8 (4-core), 10 (16-core) and the
+workload-averaged halves of Table 4.
+
+The paper averages over 100 pseudo-random 4-core mixes, 16 8-core mixes and
+12 16-core mixes.  The mix counts here default to smaller numbers sized for
+a laptop (override with the ``REPRO_WORKLOADS`` environment variable or the
+``count`` argument); the sampling procedure is the paper's
+(category-balanced pseudo-random selection).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from ..config import baseline_system
+from ..metrics.summary import WorkloadResult, geomean
+from ..sim.runner import ExperimentRunner
+from ..workloads.mixes import FIG8_SAMPLE_MIXES, SIXTEEN_CORE_MIXES, random_mixes
+from .paper_values import SCHEDULERS, TABLE4
+from .reporting import format_table, print_header
+
+__all__ = ["AggregateResult", "run_aggregate", "default_workload_count"]
+
+
+def default_workload_count(num_cores: int) -> int:
+    """Number of random mixes per system size (paper: 100 / 16 / 12)."""
+    env = os.environ.get("REPRO_WORKLOADS")
+    if env is not None:
+        return max(1, int(env))
+    return {4: 12, 8: 6, 16: 4}.get(num_cores, 8)
+
+
+@dataclass
+class AggregateResult:
+    """Geometric-mean metrics per scheduler over a set of workload mixes."""
+
+    num_cores: int
+    mixes: list[list[str]]
+    per_mix: dict[str, list[WorkloadResult]]  # scheduler -> results per mix
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        out: dict[str, dict[str, float]] = {}
+        for scheduler, results in self.per_mix.items():
+            out[scheduler] = {
+                "unfairness": geomean([r.unfairness for r in results]),
+                "wspeedup": geomean([r.weighted_speedup for r in results]),
+                "hspeedup": geomean([r.hmean_speedup for r in results]),
+                "ast": geomean(
+                    [max(r.avg_stall_per_request, 1e-9) for r in results]
+                ),
+                "wc_latency": max(r.worst_case_latency for r in results),
+            }
+        return out
+
+    def report(self) -> str:
+        paper = TABLE4.get(self.num_cores, {})
+        summary = self.summary()
+        rows = []
+        for scheduler, vals in summary.items():
+            p = paper.get(scheduler, {})
+            rows.append(
+                [
+                    scheduler,
+                    vals["unfairness"],
+                    p.get("unfairness", float("nan")),
+                    vals["wspeedup"],
+                    p.get("wspeedup", float("nan")),
+                    vals["hspeedup"],
+                    p.get("hspeedup", float("nan")),
+                    vals["ast"],
+                    p.get("ast", float("nan")),
+                ]
+            )
+        headers = [
+            "scheduler",
+            "unf",
+            "unf(paper)",
+            "ws",
+            "ws(paper)",
+            "hs",
+            "hs(paper)",
+            "AST",
+            "AST(paper)",
+        ]
+        title = f"{self.num_cores}-core aggregate over {len(self.mixes)} mixes"
+        return format_table(headers, rows, title=title)
+
+
+def run_aggregate(
+    num_cores: int = 4,
+    count: int | None = None,
+    runner: ExperimentRunner | None = None,
+    instructions: int | None = None,
+    include_sample_mixes: bool = False,
+    seed: int = 42,
+) -> AggregateResult:
+    """Run the paper's aggregate comparison for one system size.
+
+    ``include_sample_mixes`` additionally prepends the named sample mixes
+    shown on the figure's x-axis (Figure 8's ten mixes for 4 cores,
+    Figure 10's five for 16 cores).
+    """
+    if count is None:
+        count = default_workload_count(num_cores)
+    if runner is None:
+        runner = ExperimentRunner(baseline_system(num_cores), instructions=instructions)
+
+    mixes: list[list[str]] = []
+    if include_sample_mixes:
+        if num_cores == 4:
+            mixes.extend([list(m) for m in FIG8_SAMPLE_MIXES])
+        elif num_cores == 16:
+            mixes.extend([list(m) for m in SIXTEEN_CORE_MIXES.values()])
+    mixes.extend(random_mixes(num_cores, count=count, seed=seed))
+
+    per_mix: dict[str, list[WorkloadResult]] = {s: [] for s in SCHEDULERS}
+    for mix in mixes:
+        results = runner.compare_schedulers(mix, SCHEDULERS)
+        for scheduler, result in results.items():
+            per_mix[scheduler].append(result)
+    return AggregateResult(num_cores=num_cores, mixes=mixes, per_mix=per_mix)
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    for cores in (4, 8, 16):
+        print_header(f"{cores}-core aggregate")
+        print(run_aggregate(cores).report())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,15 @@
+"""Evaluation metrics: fairness, throughput, and result records."""
+
+from .fairness import memory_slowdown, unfairness
+from .speedup import hmean_speedup, weighted_speedup
+from .summary import ThreadResult, WorkloadResult, geomean
+
+__all__ = [
+    "memory_slowdown",
+    "unfairness",
+    "hmean_speedup",
+    "weighted_speedup",
+    "ThreadResult",
+    "WorkloadResult",
+    "geomean",
+]

@@ -1,0 +1,42 @@
+"""Fairness metrics (paper Section 7.1).
+
+The paper measures fairness with the *unfairness index*: the ratio of the
+maximum to the minimum memory-related slowdown across the threads sharing
+the DRAM system, where a thread's memory slowdown is its memory stall time
+per instruction running shared divided by the same quantity running alone:
+
+    MemSlowdown_i = MCPI_shared_i / MCPI_alone_i
+    Unfairness    = max_i MemSlowdown_i / min_j MemSlowdown_j
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["memory_slowdown", "unfairness"]
+
+# Threads with essentially no memory activity have MCPI ≈ 0 alone; clamp
+# the denominator so their slowdown stays finite and near 1.
+_MIN_MCPI = 1e-6
+
+
+def memory_slowdown(mcpi_shared: float, mcpi_alone: float) -> float:
+    """Memory-related slowdown of one thread.
+
+    Both inputs are memory stall cycles per instruction.  A thread that
+    stalls no more in the shared system than alone has slowdown 1.0.
+    """
+    if mcpi_shared < 0 or mcpi_alone < 0:
+        raise ValueError("MCPI values must be non-negative")
+    denominator = max(mcpi_alone, _MIN_MCPI)
+    return max(mcpi_shared / denominator, 1.0)
+
+
+def unfairness(slowdowns: Sequence[float] | Mapping[int, float]) -> float:
+    """Unfairness index over per-thread memory slowdowns (≥ 1.0)."""
+    values = list(slowdowns.values()) if isinstance(slowdowns, Mapping) else list(slowdowns)
+    if not values:
+        raise ValueError("need at least one slowdown")
+    if any(v <= 0 for v in values):
+        raise ValueError("slowdowns must be positive")
+    return max(values) / min(values)

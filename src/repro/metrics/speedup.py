@@ -1,0 +1,36 @@
+"""System-throughput metrics (paper Section 7.1).
+
+Weighted speedup [Snavely & Tullsen] sums each thread's shared-vs-alone
+IPC ratio; hmean speedup [Luo et al.] is the harmonic mean of those
+ratios times the thread count, balancing fairness and throughput:
+
+    WeightedSpeedup = sum_i IPC_shared_i / IPC_alone_i
+    HmeanSpeedup    = NumThreads / sum_i (IPC_alone_i / IPC_shared_i)
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["weighted_speedup", "hmean_speedup"]
+
+
+def _validate(ipc_shared: Sequence[float], ipc_alone: Sequence[float]) -> None:
+    if len(ipc_shared) != len(ipc_alone):
+        raise ValueError("shared and alone IPC lists must have equal length")
+    if not ipc_shared:
+        raise ValueError("need at least one thread")
+    if any(v <= 0 for v in ipc_alone) or any(v <= 0 for v in ipc_shared):
+        raise ValueError("IPC values must be positive")
+
+
+def weighted_speedup(ipc_shared: Sequence[float], ipc_alone: Sequence[float]) -> float:
+    """Sum of per-thread relative IPCs (max = thread count)."""
+    _validate(ipc_shared, ipc_alone)
+    return sum(s / a for s, a in zip(ipc_shared, ipc_alone))
+
+
+def hmean_speedup(ipc_shared: Sequence[float], ipc_alone: Sequence[float]) -> float:
+    """Harmonic-mean speedup: balances throughput and fairness."""
+    _validate(ipc_shared, ipc_alone)
+    return len(ipc_shared) / sum(a / s for s, a in zip(ipc_shared, ipc_alone))

@@ -1,0 +1,107 @@
+"""Result records aggregating per-run metrics.
+
+:class:`WorkloadResult` packages everything the paper reports for one
+multiprogrammed run under one scheduler: per-thread memory slowdowns,
+unfairness, weighted/hmean speedup, average stall time per request, and
+worst-case request latency.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from .fairness import memory_slowdown, unfairness
+from .speedup import hmean_speedup, weighted_speedup
+
+__all__ = ["ThreadResult", "WorkloadResult", "geomean"]
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's aggregation across workloads)."""
+    values = list(values)
+    if not values:
+        raise ValueError("need at least one value")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+@dataclass(frozen=True)
+class ThreadResult:
+    """Shared-run statistics of one thread, plus its alone-run baseline."""
+
+    thread_id: int
+    benchmark: str
+    ipc_shared: float
+    ipc_alone: float
+    mcpi_shared: float
+    mcpi_alone: float
+    ast_per_req: float
+    blp_shared: float
+    blp_alone: float
+    row_hit_rate: float
+    worst_latency: int
+
+    @property
+    def memory_slowdown(self) -> float:
+        return memory_slowdown(self.mcpi_shared, self.mcpi_alone)
+
+
+@dataclass(frozen=True)
+class WorkloadResult:
+    """All metrics for one workload under one scheduler."""
+
+    scheduler: str
+    workload: tuple[str, ...]
+    threads: tuple[ThreadResult, ...]
+    sim_cycles: int = 0
+    extra: Mapping[str, float] = field(default_factory=dict)
+
+    def slowdowns(self) -> dict[int, float]:
+        return {t.thread_id: t.memory_slowdown for t in self.threads}
+
+    @property
+    def unfairness(self) -> float:
+        return unfairness([t.memory_slowdown for t in self.threads])
+
+    @property
+    def weighted_speedup(self) -> float:
+        return weighted_speedup(
+            [t.ipc_shared for t in self.threads],
+            [t.ipc_alone for t in self.threads],
+        )
+
+    @property
+    def hmean_speedup(self) -> float:
+        return hmean_speedup(
+            [t.ipc_shared for t in self.threads],
+            [t.ipc_alone for t in self.threads],
+        )
+
+    @property
+    def avg_stall_per_request(self) -> float:
+        """AST/req averaged over threads with any DRAM loads."""
+        values = [t.ast_per_req for t in self.threads if t.ast_per_req > 0]
+        return sum(values) / len(values) if values else 0.0
+
+    @property
+    def worst_case_latency(self) -> int:
+        return max((t.worst_latency for t in self.threads), default=0)
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = [
+            f"{self.scheduler} on {'+'.join(self.workload)}:",
+            f"  unfairness={self.unfairness:.2f}  "
+            f"wspeedup={self.weighted_speedup:.2f}  "
+            f"hspeedup={self.hmean_speedup:.3f}",
+        ]
+        for t in self.threads:
+            lines.append(
+                f"  t{t.thread_id} {t.benchmark:<12} slowdown={t.memory_slowdown:5.2f} "
+                f"AST/req={t.ast_per_req:7.1f} BLP={t.blp_shared:.2f} "
+                f"(alone {t.blp_alone:.2f})"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,16 @@
+"""Baseline DRAM scheduling policies the paper compares against."""
+
+from .base import BankKey, Scheduler
+from .fcfs import FcfsScheduler
+from .frfcfs import FrFcfsScheduler
+from .nfq import NfqScheduler
+from .stfm import StfmScheduler
+
+__all__ = [
+    "BankKey",
+    "Scheduler",
+    "FcfsScheduler",
+    "FrFcfsScheduler",
+    "NfqScheduler",
+    "StfmScheduler",
+]

@@ -1,0 +1,69 @@
+"""Scheduler plug-in interface for the memory controller.
+
+A scheduler's job is request arbitration: whenever a bank is free and has
+pending read requests, the controller asks the scheduler to pick one.  The
+controller also feeds the scheduler lifecycle hooks (enqueue, issue,
+completion) so policies can maintain state such as batches, virtual finish
+times, or slowdown estimates.
+
+All policies in the paper are expressible as a priority over the per-bank
+candidate list plus bookkeeping in the hooks, mirroring the
+priority-register hardware implementation sketched in Section 6 of the
+paper.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Sequence
+
+from ..dram.request import MemoryRequest
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..dram.controller import MemoryController
+
+__all__ = ["Scheduler", "BankKey"]
+
+# (channel_id, bank_id)
+BankKey = tuple[int, int]
+
+
+class Scheduler(ABC):
+    """Base class for DRAM request arbitration policies."""
+
+    name: str = "base"
+
+    def __init__(self) -> None:
+        self.controller: "MemoryController | None" = None
+
+    # -- lifecycle hooks ---------------------------------------------------
+    def attach(self, controller: "MemoryController") -> None:
+        """Called once when the controller is built."""
+        self.controller = controller
+
+    def on_enqueue(self, request: MemoryRequest, now: int) -> None:
+        """A new request entered the request buffer."""
+
+    def on_issue(self, request: MemoryRequest, now: int) -> None:
+        """``request`` was issued to its bank."""
+
+    def on_complete(self, request: MemoryRequest, now: int) -> None:
+        """``request`` finished its data transfer."""
+
+    # -- arbitration ---------------------------------------------------------
+    @abstractmethod
+    def select(
+        self, candidates: Sequence[MemoryRequest], bank: BankKey, now: int
+    ) -> MemoryRequest:
+        """Pick the next request to service from ``candidates`` (non-empty,
+        all targeting ``bank``)."""
+
+    # -- helpers shared by concrete policies ---------------------------------
+    def _row_hit(self, request: MemoryRequest) -> bool:
+        """Whether ``request`` would hit in its bank's row buffer right now."""
+        assert self.controller is not None
+        bank = self.controller.channels[request.channel].banks[request.bank]
+        return bank.row_state(request.row) == "hit"
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<{type(self).__name__} ({self.name})>"

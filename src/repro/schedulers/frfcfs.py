@@ -1,0 +1,34 @@
+"""FR-FCFS: first-ready, first-come-first-serve [Rixner et al., Zuravleff].
+
+The baseline policy of modern single-thread-optimized controllers:
+
+1. row-hit requests are prioritized over row-closed/conflict requests;
+2. ties are broken by age (oldest first).
+
+Maximizes DRAM data throughput but is thread-unaware: threads with high
+row-buffer locality or high memory intensity can starve others
+(paper Section 3).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..dram.request import MemoryRequest
+from .base import BankKey, Scheduler
+
+__all__ = ["FrFcfsScheduler"]
+
+
+class FrFcfsScheduler(Scheduler):
+    """Row-hit-first, then oldest-first arbitration."""
+
+    name = "FR-FCFS"
+
+    def select(
+        self, candidates: Sequence[MemoryRequest], bank: BankKey, now: int
+    ) -> MemoryRequest:
+        return min(
+            candidates,
+            key=lambda r: (not self._row_hit(r), r.arrival_time, r.request_id),
+        )

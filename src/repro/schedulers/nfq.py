@@ -1,0 +1,113 @@
+"""NFQ: network-fair-queueing based memory scheduling [Nesbit et al., MICRO-39].
+
+Reimplementation of the FQ-VFTF variant the paper compares against
+(virtual-finish-time-first fair queueing with the priority-inversion
+prevention optimization):
+
+* each thread owns a bandwidth share (equal by default, or proportional to
+  a weight);
+* a request's *virtual finish time* is its thread's previous virtual finish
+  time in the same bank (or its arrival time, whichever is later) plus the
+  nominal access cost scaled by the inverse of the thread's share;
+* the scheduler services the request with the earliest virtual finish time;
+* priority-inversion prevention: row-hit requests may jump ahead of
+  earlier-deadline requests, but only while the open row is younger than a
+  tRAS-based threshold, bounding how long a row streak can invert
+  deadlines.
+
+This design exhibits the *idleness problem* the PAR-BS paper discusses:
+threads with bursty access patterns receive near-term deadlines after idle
+periods and are prioritized over continuously backlogged threads, which
+destroys the latter's bank-level parallelism.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Sequence
+
+from ..dram.request import MemoryRequest
+from .base import BankKey, Scheduler
+
+__all__ = ["NfqScheduler"]
+
+
+class NfqScheduler(Scheduler):
+    """Fair-queueing (FQ-VFTF) arbitration with per-thread weights."""
+
+    name = "NFQ"
+
+    def __init__(
+        self,
+        num_threads: int,
+        weights: dict[int, float] | None = None,
+        inversion_threshold: int | None = None,
+    ) -> None:
+        super().__init__()
+        self.num_threads = num_threads
+        self.weights = dict(weights or {})
+        # Virtual finish time of the last request per (thread, channel, bank).
+        self._vft: dict[tuple[int, int, int], float] = defaultdict(float)
+        # Last row requested per (thread, channel, bank), to estimate the
+        # service cost of a new request (row hits are cheap, so threads with
+        # high row locality consume their share slowly).
+        self._last_row: dict[tuple[int, int, int], int] = {}
+        # Time at which the currently open row of each bank was last opened
+        # by this policy's accounting (for priority-inversion prevention).
+        self._row_open_since: dict[BankKey, int] = {}
+        self._row_open_row: dict[BankKey, int | None] = {}
+        self._inversion_threshold = inversion_threshold
+
+    # -- share bookkeeping ---------------------------------------------------
+    def _share(self, thread_id: int) -> float:
+        weight = self.weights.get(thread_id, 1.0)
+        total = sum(self.weights.get(t, 1.0) for t in range(self.num_threads))
+        return weight / total if total > 0 else 1.0 / self.num_threads
+
+    def _estimated_cost(self, request: MemoryRequest) -> int:
+        """Estimated service cost: row-hit latency if the thread's previous
+        request to this bank targeted the same row, conflict cost otherwise."""
+        t = self.controller.timing
+        key = (request.thread_id, request.channel, request.bank)
+        if self._last_row.get(key) == request.row:
+            return t.row_hit_latency + t.tBUS
+        return t.row_conflict_latency + t.tBUS
+
+    def on_enqueue(self, request: MemoryRequest, now: int) -> None:
+        key = (request.thread_id, request.channel, request.bank)
+        start = max(float(now), self._vft[key])
+        cost = self._estimated_cost(request) / self._share(request.thread_id)
+        self._last_row[key] = request.row
+        finish = start + cost
+        self._vft[key] = finish
+        request.virtual_finish = finish
+
+    def on_issue(self, request: MemoryRequest, now: int) -> None:
+        bank: BankKey = (request.channel, request.bank)
+        if self._row_open_row.get(bank) != request.row:
+            self._row_open_row[bank] = request.row
+            self._row_open_since[bank] = now
+
+    # -- arbitration -----------------------------------------------------------
+    def select(
+        self, candidates: Sequence[MemoryRequest], bank: BankKey, now: int
+    ) -> MemoryRequest:
+        threshold = self._inversion_threshold
+        if threshold is None:
+            # Nesbit et al. bound priority inversion with a tRAS threshold:
+            # an open row may divert service from earlier virtual deadlines
+            # for at most tRAS.  This is what limits the row-buffer locality
+            # NFQ can exploit (paper Section 8.1.3).
+            threshold = self.controller.timing.tRAS
+        hits = [r for r in candidates if self._row_hit(r)]
+        if hits:
+            open_since = self._row_open_since.get(bank, now)
+            if now - open_since < threshold:
+                # Row streak still within its inversion budget: exploit
+                # locality, earliest deadline among the hits.
+                return min(
+                    hits, key=lambda r: (r.virtual_finish, r.arrival_time, r.request_id)
+                )
+        return min(
+            candidates, key=lambda r: (r.virtual_finish, r.arrival_time, r.request_id)
+        )

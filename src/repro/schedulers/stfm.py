@@ -1,0 +1,162 @@
+"""STFM: stall-time fair memory scheduling [Mutlu & Moscibroda, MICRO-40].
+
+Reimplementation of the scheduler the PAR-BS paper identifies as the best
+previous technique.  STFM aims to equalize the memory-related slowdown of
+all threads:
+
+* for each thread the controller tracks ``T_shared`` — the memory stall
+  time the thread experiences in the shared system (approximated here by
+  the time the thread has at least one outstanding read) — and estimates
+  ``T_interference`` — the extra stall caused by other threads;
+* the estimated slowdown is ``S = T_shared / (T_shared - T_interference)``;
+* if the ratio of the maximum to minimum slowdown exceeds ``alpha``, the
+  scheduler switches from FR-FCFS to a fairness-oriented policy that
+  prioritizes the most-slowed-down thread's requests.
+
+Interference accounting follows the published description: when a request
+occupies a bank, every other thread with requests waiting on that bank
+accrues the service duration divided by its current bank-level parallelism
+(a thread whose requests proceed in parallel in other banks loses less).
+As the PAR-BS paper notes, these estimates are heuristic and can
+under-estimate the slowdown of threads with high inherent bank-level
+parallelism — a behaviour this reimplementation shares by construction.
+
+Thread weights (for the priority experiments) scale the *perceived*
+slowdown: ``S_eff = 1 + (S - 1) * weight``, so heavier threads look more
+slowed-down and are prioritized earlier.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Sequence
+
+from ..dram.request import MemoryRequest
+from .base import BankKey, Scheduler
+
+__all__ = ["StfmScheduler"]
+
+
+class StfmScheduler(Scheduler):
+    """Stall-time fair arbitration."""
+
+    name = "STFM"
+
+    def __init__(
+        self,
+        num_threads: int,
+        alpha: float = 1.10,
+        interval_length: int = 2**22,
+        weights: dict[int, float] | None = None,
+    ) -> None:
+        super().__init__()
+        if alpha < 1.0:
+            raise ValueError("alpha must be >= 1")
+        self.num_threads = num_threads
+        self.alpha = alpha
+        self.interval_length = interval_length
+        self.weights = dict(weights or {})
+
+        self._t_shared: dict[int, float] = defaultdict(float)
+        self._t_interference: dict[int, float] = defaultdict(float)
+        # Outstanding read tracking for T_shared integration.
+        self._outstanding: dict[int, int] = defaultdict(int)
+        self._last_change: dict[int, int] = defaultdict(int)
+        # Banks with waiting-or-in-service reads per thread (for the bank
+        # parallelism divisor in interference accounting).
+        self._banks_busy: dict[int, dict[BankKey, int]] = defaultdict(
+            lambda: defaultdict(int)
+        )
+        self._last_decay = 0
+
+    # -- bookkeeping -----------------------------------------------------------
+    def _advance(self, thread_id: int, now: int) -> None:
+        if self._outstanding[thread_id] > 0:
+            self._t_shared[thread_id] += now - self._last_change[thread_id]
+        self._last_change[thread_id] = now
+
+    def _decay(self, now: int) -> None:
+        if now - self._last_decay < self.interval_length:
+            return
+        for table in (self._t_shared, self._t_interference):
+            for key in table:
+                table[key] *= 0.5
+        self._last_decay = now
+
+    def _bank_parallelism(self, thread_id: int) -> int:
+        return max(1, sum(1 for c in self._banks_busy[thread_id].values() if c > 0))
+
+    def on_enqueue(self, request: MemoryRequest, now: int) -> None:
+        if not request.is_read:
+            return
+        tid = request.thread_id
+        self._advance(tid, now)
+        self._outstanding[tid] += 1
+        self._banks_busy[tid][(request.channel, request.bank)] += 1
+        self._decay(now)
+
+    def on_issue(self, request: MemoryRequest, now: int) -> None:
+        if not request.is_read:
+            return
+        outcome = request.service_outcome
+        duration = outcome.bank_free - outcome.start if outcome is not None else 0
+        key: BankKey = (request.channel, request.bank)
+        # Charge interference to every *other* thread waiting on this bank.
+        waiting = self.controller._reads.get(key) or ()
+        victims = {r.thread_id for r in waiting if r.thread_id != request.thread_id}
+        for tid in victims:
+            self._t_interference[tid] += duration / self._bank_parallelism(tid)
+
+    def on_complete(self, request: MemoryRequest, now: int) -> None:
+        if not request.is_read:
+            return
+        tid = request.thread_id
+        self._advance(tid, now)
+        self._outstanding[tid] -= 1
+        bank_counts = self._banks_busy[tid]
+        key: BankKey = (request.channel, request.bank)
+        bank_counts[key] -= 1
+        self._decay(now)
+
+    # -- slowdown estimation -----------------------------------------------------
+    def slowdown(self, thread_id: int, now: int | None = None) -> float:
+        """Current estimated memory slowdown of ``thread_id``."""
+        shared = self._t_shared[thread_id]
+        if now is not None and self._outstanding[thread_id] > 0:
+            shared += now - self._last_change[thread_id]
+        interference = min(self._t_interference[thread_id], shared * 0.999)
+        alone = max(shared - interference, 1e-9)
+        if shared <= 0:
+            return 1.0
+        slow = shared / alone
+        weight = self.weights.get(thread_id, 1.0)
+        return 1.0 + (slow - 1.0) * weight
+
+    # -- arbitration -----------------------------------------------------------
+    def select(
+        self, candidates: Sequence[MemoryRequest], bank: BankKey, now: int
+    ) -> MemoryRequest:
+        slowdowns = {
+            tid: self.slowdown(tid, now)
+            for tid in range(self.num_threads)
+            if self._t_shared[tid] > 0 or self._outstanding[tid] > 0
+        }
+        if slowdowns:
+            worst = max(slowdowns.values())
+            best = min(slowdowns.values())
+            if best > 0 and worst / best > self.alpha:
+                slowest = max(slowdowns, key=lambda t: (slowdowns[t], -t))
+                return min(
+                    candidates,
+                    key=lambda r: (
+                        r.thread_id != slowest,
+                        not self._row_hit(r),
+                        r.arrival_time,
+                        r.request_id,
+                    ),
+                )
+        # Fair enough: maximize throughput with FR-FCFS.
+        return min(
+            candidates,
+            key=lambda r: (not self._row_hit(r), r.arrival_time, r.request_id),
+        )

@@ -1,0 +1,15 @@
+"""System assembly and experiment running."""
+
+from .factory import SCHEDULER_NAMES, make_scheduler
+from .runner import AloneStats, ExperimentRunner, default_instructions
+from .system import DramPort, System
+
+__all__ = [
+    "SCHEDULER_NAMES",
+    "make_scheduler",
+    "AloneStats",
+    "ExperimentRunner",
+    "default_instructions",
+    "DramPort",
+    "System",
+]

@@ -1,0 +1,41 @@
+"""Scheduler factory: build any policy evaluated in the paper by name.
+
+Names accepted (case-insensitive):
+
+* ``"FR-FCFS"``, ``"FCFS"``, ``"NFQ"``, ``"STFM"`` — the four baselines;
+* ``"PAR-BS"`` — the paper's scheduler (full batching, Marking-Cap 5,
+  Max-Total ranking);
+* variants via keyword arguments, e.g.
+  ``make_scheduler("PAR-BS", 4, marking_cap=None)`` or
+  ``make_scheduler("PAR-BS", 4, batching="static", batch_duration=3200)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.parbs import ParBsScheduler
+from ..schedulers import FcfsScheduler, FrFcfsScheduler, NfqScheduler, Scheduler, StfmScheduler
+
+__all__ = ["make_scheduler", "SCHEDULER_NAMES", "SchedulerFactory"]
+
+# The five schedulers compared throughout the evaluation, in figure order.
+SCHEDULER_NAMES = ["FR-FCFS", "FCFS", "NFQ", "STFM", "PAR-BS"]
+
+SchedulerFactory = Callable[[int], Scheduler]
+
+
+def make_scheduler(name: str, num_threads: int, **kwargs) -> Scheduler:
+    """Instantiate a scheduler by paper name for ``num_threads`` threads."""
+    key = name.strip().lower().replace("_", "-")
+    if key == "fcfs":
+        return FcfsScheduler()
+    if key == "fr-fcfs" or key == "frfcfs":
+        return FrFcfsScheduler()
+    if key == "nfq":
+        return NfqScheduler(num_threads, **kwargs)
+    if key == "stfm":
+        return StfmScheduler(num_threads, **kwargs)
+    if key == "par-bs" or key == "parbs":
+        return ParBsScheduler(num_threads, **kwargs)
+    raise ValueError(f"unknown scheduler {name!r}; known: {SCHEDULER_NAMES}")

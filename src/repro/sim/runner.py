@@ -1,0 +1,198 @@
+"""Experiment runner: alone-run baselines and shared workload runs.
+
+Reproducing the paper's metrics requires, for every benchmark, an
+*alone-run* baseline (the thread running by itself on the same memory
+system) and a *shared run* of the full workload.  The runner generates
+calibrated traces, caches alone-run baselines per (benchmark, system
+configuration), and packages results as
+:class:`~repro.metrics.summary.WorkloadResult`.
+
+Scaling: trace sizes honour the ``REPRO_SCALE`` environment variable
+(a float multiplier over the default instruction count) so the full
+benchmark suite can be sized to the machine at hand.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from ..config import SystemConfig, baseline_system
+from ..cpu.trace import Trace
+from ..metrics.summary import ThreadResult, WorkloadResult
+from ..schedulers.base import Scheduler
+from ..workloads.generator import TraceGenerator
+from ..workloads.profiles import profile
+from .factory import make_scheduler
+from .system import System
+
+__all__ = ["AloneStats", "ExperimentRunner", "default_instructions"]
+
+_DEFAULT_INSTRUCTIONS = 300_000
+
+
+def default_instructions() -> int:
+    """Per-thread instruction-slice length, honouring ``REPRO_SCALE``."""
+    scale = float(os.environ.get("REPRO_SCALE", "1.0"))
+    return max(10_000, int(_DEFAULT_INSTRUCTIONS * scale))
+
+
+@dataclass(frozen=True)
+class AloneStats:
+    """Alone-run baseline of one benchmark on one system configuration."""
+
+    benchmark: str
+    ipc: float
+    mcpi: float
+    ast_per_req: float
+    blp: float
+    row_hit_rate: float
+    loads: int
+    cycles: int
+
+
+class ExperimentRunner:
+    """Runs workloads and computes paper metrics, caching alone baselines."""
+
+    def __init__(
+        self,
+        config: SystemConfig | None = None,
+        instructions: int | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.config = config or baseline_system(4)
+        self.instructions = instructions or default_instructions()
+        self.seed = seed
+        self.generator = TraceGenerator(mapping=self.config.dram.mapping())
+        self._trace_cache: dict[tuple[str, int], Trace] = {}
+        self._alone_cache: dict[str, AloneStats] = {}
+
+    # -- trace construction ------------------------------------------------------
+    def trace_for(self, benchmark: str, copy_index: int = 0) -> Trace:
+        """Deterministic trace for ``benchmark``; distinct ``copy_index``
+        values give statistically identical but decorrelated traces (for
+        workloads with repeated benchmarks)."""
+        key = (benchmark, copy_index)
+        if key not in self._trace_cache:
+            self._trace_cache[key] = self.generator.generate(
+                profile(benchmark),
+                instructions=self.instructions,
+                seed=self.seed + 1000 * copy_index,
+            )
+        return self._trace_cache[key]
+
+    def _workload_traces(self, workload: list[str]) -> list[Trace]:
+        counts: dict[str, int] = {}
+        traces = []
+        for benchmark in workload:
+            index = counts.get(benchmark, 0)
+            counts[benchmark] = index + 1
+            traces.append(self.trace_for(benchmark, index))
+        return traces
+
+    # -- alone baseline -----------------------------------------------------------
+    def alone(self, benchmark: str) -> AloneStats:
+        """Alone-run statistics (cached)."""
+        if benchmark in self._alone_cache:
+            return self._alone_cache[benchmark]
+        trace = self.trace_for(benchmark, 0)
+        # One core, but the *same* memory system as the shared runs
+        # ("running alone on the same system", Section 7.1).
+        from dataclasses import replace
+
+        config = replace(self.config, num_cores=1)
+        system = System(
+            config,
+            make_scheduler("FR-FCFS", 1),
+            [trace],
+            repeat=False,
+        )
+        system.run()
+        core = system.cores[0]
+        snap = core.snapshot
+        assert snap is not None
+        mem = system.controller.thread_stats[0]
+        stats = AloneStats(
+            benchmark=benchmark,
+            ipc=snap.ipc,
+            mcpi=snap.mcpi,
+            ast_per_req=snap.avg_stall_per_request,
+            blp=mem.bank_level_parallelism,
+            row_hit_rate=mem.row_hit_rate,
+            loads=snap.loads,
+            cycles=snap.cycles,
+        )
+        self._alone_cache[benchmark] = stats
+        return stats
+
+    # -- shared runs ------------------------------------------------------------
+    def run_workload(
+        self,
+        workload: list[str],
+        scheduler: Scheduler | str,
+        **scheduler_kwargs,
+    ) -> WorkloadResult:
+        """Run ``workload`` (one benchmark name per core) under a scheduler
+        and return all paper metrics."""
+        if len(workload) != self.config.num_cores:
+            raise ValueError(
+                f"workload has {len(workload)} threads but the system has "
+                f"{self.config.num_cores} cores"
+            )
+        if isinstance(scheduler, str):
+            scheduler_name = scheduler
+            scheduler = make_scheduler(
+                scheduler, self.config.num_cores, **scheduler_kwargs
+            )
+        else:
+            scheduler_name = scheduler.name
+
+        traces = self._workload_traces(workload)
+        system = System(self.config, scheduler, traces, repeat=True)
+        sim_cycles = system.run()
+
+        threads = []
+        for thread_id, benchmark in enumerate(workload):
+            core = system.cores[thread_id]
+            snap = core.snapshot
+            assert snap is not None
+            mem = system.controller.thread_stats[thread_id]
+            base = self.alone(benchmark)
+            threads.append(
+                ThreadResult(
+                    thread_id=thread_id,
+                    benchmark=benchmark,
+                    ipc_shared=snap.ipc,
+                    ipc_alone=base.ipc,
+                    mcpi_shared=snap.mcpi,
+                    mcpi_alone=base.mcpi,
+                    ast_per_req=snap.avg_stall_per_request,
+                    blp_shared=mem.bank_level_parallelism,
+                    blp_alone=base.blp,
+                    row_hit_rate=mem.row_hit_rate,
+                    worst_latency=mem.latency_max,
+                )
+            )
+        return WorkloadResult(
+            scheduler=scheduler_name,
+            workload=tuple(workload),
+            threads=tuple(threads),
+            sim_cycles=sim_cycles,
+        )
+
+    def compare_schedulers(
+        self,
+        workload: list[str],
+        schedulers: list[str] | None = None,
+        scheduler_kwargs: dict[str, dict] | None = None,
+    ) -> dict[str, WorkloadResult]:
+        """Run ``workload`` under several schedulers (paper's five by
+        default) and return results keyed by scheduler name."""
+        from .factory import SCHEDULER_NAMES
+
+        names = schedulers or SCHEDULER_NAMES
+        kwargs = scheduler_kwargs or {}
+        return {
+            name: self.run_workload(workload, name, **kwargs.get(name, {}))
+            for name in names
+        }

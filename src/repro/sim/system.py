@@ -1,0 +1,145 @@
+"""Whole-system wiring: cores + (optional caches) + shared DRAM controller.
+
+:class:`System` assembles one simulated CMP: per-core trace-driven
+processors, an optional per-core two-level cache hierarchy, and the shared
+memory controller running a pluggable scheduling policy.  ``run()``
+executes until every core has completed its trace once (finished cores
+keep re-running their traces so memory pressure stays realistic, matching
+the paper's equal-instruction-slice methodology).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..cache.hierarchy import CacheHierarchy
+from ..config import SystemConfig
+from ..cpu.core import Core
+from ..cpu.trace import Trace
+from ..dram.address import AddressMapping
+from ..dram.controller import MemoryController
+from ..dram.request import MemoryRequest, RequestType
+from ..events import EventQueue, SimulationError
+from ..schedulers.base import Scheduler
+
+__all__ = ["DramPort", "System"]
+
+
+class DramPort:
+    """Adapter from the core/cache ``access`` protocol to the controller."""
+
+    def __init__(self, controller: MemoryController, mapping: AddressMapping) -> None:
+        self.controller = controller
+        self.mapping = mapping
+
+    def access(
+        self,
+        thread_id: int,
+        address: int,
+        is_write: bool,
+        on_complete: Callable[[], None] | None,
+    ) -> None:
+        coords = self.mapping.map(address)
+        request = MemoryRequest(
+            thread_id=thread_id,
+            address=address,
+            channel=coords.channel,
+            bank=coords.bank,
+            row=coords.row,
+            type=RequestType.WRITE if is_write else RequestType.READ,
+        )
+        if on_complete is not None:
+            request.on_complete = lambda _req: on_complete()
+        self.controller.enqueue(request)
+
+
+class System:
+    """A simulated CMP sharing one DRAM system.
+
+    Parameters
+    ----------
+    config:
+        System configuration; ``config.num_cores`` must match the number of
+        traces supplied.
+    scheduler:
+        The DRAM arbitration policy under test.
+    traces:
+        One instruction trace per core.
+    use_caches:
+        Route core accesses through per-core L1/L2 hierarchies.  When
+        False (default), traces are interpreted as L2-miss streams and go
+        straight to DRAM, which is how the calibrated synthetic workloads
+        are meant to be used.
+    repeat:
+        Restart finished traces to keep contention steady until every core
+        has completed at least once.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        scheduler: Scheduler,
+        traces: list[Trace],
+        use_caches: bool = False,
+        repeat: bool = True,
+    ) -> None:
+        if len(traces) != config.num_cores:
+            raise ValueError(
+                f"expected {config.num_cores} traces, got {len(traces)}"
+            )
+        self.config = config
+        self.queue = EventQueue()
+        self.controller = MemoryController(
+            self.queue, config.dram, scheduler, num_threads=config.num_cores
+        )
+        self.mapping = config.dram.mapping()
+        self.port = DramPort(self.controller, self.mapping)
+
+        self._finished = 0
+        self.cores: list[Core] = []
+        self.hierarchies: list[CacheHierarchy] = []
+        for thread_id, trace in enumerate(traces):
+            memory = self.port
+            if use_caches:
+                hierarchy = CacheHierarchy(
+                    thread_id,
+                    self.queue,
+                    self.port,
+                    mshrs=config.core.mshrs,
+                )
+                self.hierarchies.append(hierarchy)
+                memory = hierarchy
+            core = Core(
+                thread_id,
+                trace,
+                self.queue,
+                memory,
+                config=config.core,
+                repeat=repeat,
+            )
+            core.on_finished = self._core_finished
+            self.cores.append(core)
+
+    def _core_finished(self, core: Core) -> None:
+        self._finished += 1
+
+    def run(self, max_events: int | None = 200_000_000) -> int:
+        """Run until every core finishes its trace once.
+
+        Returns the simulation time (cycles) at which the last core
+        finished.  Raises if the event budget is exhausted first.
+        """
+        for core in self.cores:
+            core.start()
+        events = 0
+        while self._finished < len(self.cores):
+            if not self.queue.step():
+                raise SimulationError(
+                    "event queue drained before all cores finished"
+                )
+            events += 1
+            if max_events is not None and events > max_events:
+                raise SimulationError(
+                    f"exceeded event budget ({max_events}); simulation stuck?"
+                )
+        return self.queue.now

@@ -1,0 +1,31 @@
+"""Benchmark profiles, synthetic trace generation, and workload mixes."""
+
+from .generator import TraceGenerator, generate_trace
+from .mixes import (
+    CASE_STUDY_1,
+    CASE_STUDY_2,
+    CASE_STUDY_3,
+    EIGHT_CORE_MIX,
+    FIG8_SAMPLE_MIXES,
+    SIXTEEN_CORE_MIXES,
+    Workload,
+    random_mixes,
+)
+from .profiles import PROFILES, BenchmarkProfile, by_category, profile
+
+__all__ = [
+    "TraceGenerator",
+    "generate_trace",
+    "CASE_STUDY_1",
+    "CASE_STUDY_2",
+    "CASE_STUDY_3",
+    "EIGHT_CORE_MIX",
+    "FIG8_SAMPLE_MIXES",
+    "SIXTEEN_CORE_MIXES",
+    "Workload",
+    "random_mixes",
+    "PROFILES",
+    "BenchmarkProfile",
+    "by_category",
+    "profile",
+]

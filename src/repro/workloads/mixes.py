@@ -1,0 +1,122 @@
+"""Multiprogrammed workload mixes from the paper's evaluation (Section 7).
+
+Provides the three 4-core case studies, the 10 sample mixes of Figure 8,
+the 8-core mix of Figure 9, the 16-core mixes of Figure 10, and the
+pseudo-random category-balanced samplers used for the aggregate results
+(100 4-core, 16 8-core and 12 16-core combinations in the paper; the
+counts are configurable here).
+"""
+
+from __future__ import annotations
+
+import random
+
+from .profiles import PROFILES, BenchmarkProfile, by_category, profile
+
+__all__ = [
+    "CASE_STUDY_1",
+    "CASE_STUDY_2",
+    "CASE_STUDY_3",
+    "EIGHT_CORE_MIX",
+    "FIG8_SAMPLE_MIXES",
+    "SIXTEEN_CORE_MIXES",
+    "Workload",
+    "random_mixes",
+]
+
+# A workload is an ordered list of benchmark names, one per core.
+Workload = list[str]
+
+# Case Study I (Fig. 5): four memory-intensive benchmarks, one with very
+# high bank-level parallelism (mcf).
+CASE_STUDY_1: Workload = ["libquantum", "mcf", "GemsFDTD", "xalancbmk"]
+
+# Case Study II (Fig. 6): three non-intensive benchmarks plus matlab; only
+# omnetpp has high bank-level parallelism.
+CASE_STUDY_2: Workload = ["matlab", "h264ref", "omnetpp", "hmmer"]
+
+# Case Study III (Fig. 7): four identical copies of lbm (high BLP).
+CASE_STUDY_3: Workload = ["lbm"] * 4
+
+# Figure 9: 8-core mix of 3 intensive + 5 non-intensive applications.
+EIGHT_CORE_MIX: Workload = [
+    "mcf",
+    "xml-parser",
+    "cactusADM",
+    "astar",
+    "hmmer",
+    "h264ref",
+    "gromacs",
+    "bzip2",
+]
+
+# The ten sample 4-core mixes shown in Figure 8 (left), in order.
+FIG8_SAMPLE_MIXES: list[Workload] = [
+    ["libquantum", "h264ref", "omnetpp", "hmmer"],
+    ["lbm", "matlab", "GemsFDTD", "omnetpp"],
+    ["GemsFDTD", "omnetpp", "astar", "hmmer"],
+    ["libquantum", "xml-parser", "astar", "hmmer"],
+    ["matlab", "omnetpp", "astar", "bzip2"],
+    ["leslie3d", "leslie3d", "leslie3d", "leslie3d"],
+    ["sphinx3", "libquantum", "h264ref", "omnetpp"],
+    ["libquantum", "mcf", "xalancbmk", "gromacs"],
+    ["lbm", "matlab", "astar", "hmmer"],
+    ["lbm", "astar", "h264ref", "gromacs"],
+]
+
+
+def _by_numbers(numbers: list[int]) -> Workload:
+    return [profile(n).name for n in numbers]
+
+
+def _intensity_sorted() -> list[BenchmarkProfile]:
+    return sorted(PROFILES.values(), key=lambda p: (-p.mcpi, p.number))
+
+
+def _sixteen_core_mixes() -> dict[str, Workload]:
+    ranked = _intensity_sorted()
+    return {
+        # Benchmark-number mixes labeled on Figure 10's x-axis.
+        "1,5,6,9,13-22,27,28": _by_numbers([1, 5, 6, 9] + list(range(13, 23)) + [27, 28]),
+        "9,13-22,24-28": _by_numbers([9] + list(range(13, 23)) + list(range(24, 29))),
+        "intensive16": [p.name for p in ranked[:16]],
+        "middle16": [p.name for p in ranked[6:22]],
+        "non-intensive16": [p.name for p in ranked[-16:]],
+    }
+
+
+SIXTEEN_CORE_MIXES: dict[str, Workload] = _sixteen_core_mixes()
+
+
+def random_mixes(
+    num_cores: int = 4,
+    count: int = 100,
+    seed: int = 42,
+) -> list[Workload]:
+    """Pseudo-random category-balanced workload mixes (paper Section 7).
+
+    Each mix is formed by pseudo-randomly choosing ``num_cores`` of the
+    eight benchmark categories (without replacement while possible, so
+    different category combinations are evaluated) and then a random
+    benchmark from each chosen category.
+    """
+    if num_cores < 1 or count < 1:
+        raise ValueError("num_cores and count must be positive")
+    rng = random.Random(seed)
+    categories = list(range(8))
+    mixes: list[Workload] = []
+    seen: set[tuple[str, ...]] = set()
+    attempts = 0
+    while len(mixes) < count and attempts < count * 50:
+        attempts += 1
+        pool: list[int] = []
+        while len(pool) < num_cores:
+            remaining = [c for c in categories if c not in pool] or categories
+            pool.append(rng.choice(remaining))
+        workload = [rng.choice(by_category(c)).name for c in pool]
+        key = tuple(sorted(workload))
+        if key in seen:
+            continue
+        seen.add(key)
+        mixes.append(workload)
+    return mixes

@@ -1,0 +1,129 @@
+"""Unit tests for the abstract within-batch model (Figures 1-3)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.abstract_model import AbstractBatch, AbstractRequest
+from repro.experiments.abstract_fig3 import FIG3_BATCH, run_fig3
+
+
+def batch(*reqs):
+    return AbstractBatch([AbstractRequest(*r) for r in reqs])
+
+
+def test_single_request_costs_one_unit():
+    b = batch((1, 0, 5))
+    result = b.schedule("fcfs")
+    assert result.completion[1] == Fraction(1)
+
+
+def test_row_hit_costs_half():
+    b = batch((1, 0, 5), (1, 0, 5))
+    result = b.schedule("fcfs")
+    assert result.completion[1] == Fraction(3, 2)
+
+
+def test_different_rows_cost_full_units():
+    b = batch((1, 0, 5), (1, 0, 6))
+    assert batch((1, 0, 5), (1, 0, 6)).schedule("fcfs").completion[1] == Fraction(2)
+
+
+def test_banks_operate_in_parallel():
+    b = batch((1, 0, 5), (1, 1, 6), (1, 2, 7))
+    result = b.schedule("fcfs")
+    assert result.completion[1] == Fraction(1)  # all three banks in parallel
+
+
+def test_fcfs_preserves_arrival_order():
+    b = batch((1, 0, 5), (2, 0, 6), (1, 0, 7))
+    order = b.schedule("fcfs").bank_order[0]
+    assert [r.thread for r in order] == [1, 2, 1]
+
+
+def test_frfcfs_reorders_row_hits_first():
+    # Arrival: T1 row5, T2 row6, T1 row5 — FR-FCFS chains the row-5 hits.
+    b = batch((1, 0, 5), (2, 0, 6), (1, 0, 5))
+    order = b.schedule("fr-fcfs").bank_order[0]
+    assert [r.thread for r in order] == [1, 1, 2]
+    result = b.schedule("fr-fcfs")
+    assert result.completion[1] == Fraction(3, 2)
+    assert result.completion[2] == Fraction(5, 2)
+
+
+def test_max_total_ranks_shortest_job_first():
+    b = batch((1, 0, 1), (2, 0, 2), (2, 1, 3), (2, 2, 4), (2, 3, 5))
+    ranks = b.max_total_ranks()
+    assert ranks[1] < ranks[2]  # T1: one request; T2: four spread
+
+
+def test_parbs_services_highest_rank_first():
+    # T1 has one request per bank; T2 floods bank 0.
+    b = batch((2, 0, 9), (2, 0, 9), (2, 0, 9), (1, 0, 1), (1, 1, 2))
+    result = b.schedule("par-bs")
+    assert result.completion[1] == Fraction(1)  # T1 first everywhere
+
+
+def test_parbs_average_never_worse_than_fcfs_on_figure_layout():
+    fcfs = FIG3_BATCH.schedule("fcfs").average_completion
+    frfcfs = FIG3_BATCH.schedule("fr-fcfs").average_completion
+    parbs = FIG3_BATCH.schedule("par-bs").average_completion
+    assert parbs < frfcfs < fcfs
+
+
+def test_fig3_thread1_completes_in_one_unit_under_parbs():
+    result = FIG3_BATCH.schedule("par-bs")
+    assert result.completion[1] == Fraction(1)
+
+
+def test_fig3_row_hits_not_sacrificed_by_parbs():
+    """PAR-BS achieves as many row hits as FR-FCFS within the batch."""
+
+    def hits(result):
+        count = 0
+        for order in result.bank_order.values():
+            open_row = None
+            for r in order:
+                if r.row == open_row:
+                    count += 1
+                open_row = r.row
+        return count
+
+    assert hits(FIG3_BATCH.schedule("par-bs")) >= hits(FIG3_BATCH.schedule("fr-fcfs"))
+
+
+def test_explicit_ranks_override_max_total():
+    b = batch((1, 0, 1), (2, 0, 2))
+    result = b.schedule("par-bs", ranks={1: 1, 2: 0})
+    order = result.bank_order[0]
+    assert order[0].thread == 2
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(ValueError):
+        batch((1, 0, 1)).schedule("sjf")
+
+
+def test_from_bank_columns_orders_bottom_up():
+    b = AbstractBatch.from_bank_columns({0: [(1, 5), (2, 6)], 1: [(3, 7)]})
+    orders = [(r.thread, r.bank, r.order) for r in b.requests]
+    # Level 0 of each bank precedes level 1.
+    t1 = next(r for r in b.requests if r.thread == 1)
+    t2 = next(r for r in b.requests if r.thread == 2)
+    assert t1.order < t2.order
+    assert len(b.requests) == 3
+
+
+def test_average_completion_empty_batch():
+    assert AbstractBatch([]).schedule("fcfs").average_completion == Fraction(0)
+
+
+def test_as_floats():
+    result = batch((1, 0, 5)).schedule("fcfs")
+    assert result.as_floats() == {1: 1.0}
+
+
+def test_run_fig3_reports_all_policies():
+    result = run_fig3()
+    assert set(result.schedules) == {"fcfs", "fr-fcfs", "par-bs"}
+    assert "Figure 3" in result.report()

@@ -1,0 +1,90 @@
+"""Tests for the adaptive Marking-Cap extension (paper future work)."""
+
+import pytest
+
+from repro.config import DramConfig
+from repro.core.batcher import AdaptiveCapBatcher
+from repro.core.parbs import ParBsScheduler
+from repro.dram.controller import MemoryController
+from repro.dram.request import MemoryRequest
+from repro.events import EventQueue
+from repro.sim.runner import ExperimentRunner
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        AdaptiveCapBatcher(min_cap=3, initial_cap=2)
+    with pytest.raises(ValueError):
+        AdaptiveCapBatcher(initial_cap=30, max_cap=20)
+    with pytest.raises(ValueError):
+        AdaptiveCapBatcher(target_duration=0)
+
+
+def test_cap_increases_for_fast_batches():
+    batcher = AdaptiveCapBatcher(target_duration=1000, initial_cap=5)
+    batcher._batch_start_time = 0
+    # Avoid forming real batches: no controller attached -> stub.
+    batcher._form_batch = lambda now: None
+    batcher._batch_finished(now=100)  # far below target/2
+    assert batcher.marking_cap == 6
+
+
+def test_cap_decreases_for_slow_batches():
+    batcher = AdaptiveCapBatcher(target_duration=1000, initial_cap=5)
+    batcher._batch_start_time = 0
+    batcher._form_batch = lambda now: None
+    batcher._batch_finished(now=5000)  # above 2x target
+    assert batcher.marking_cap == 4
+
+
+def test_cap_stays_within_bounds():
+    batcher = AdaptiveCapBatcher(
+        target_duration=1000, initial_cap=1, min_cap=1, max_cap=2
+    )
+    batcher._form_batch = lambda now: None
+    batcher._batch_start_time = 0
+    batcher._batch_finished(now=10_000)
+    assert batcher.marking_cap == 1  # clamped at min
+    batcher._batch_start_time = 10_000
+    batcher._batch_finished(now=10_001)
+    batcher._batch_start_time = 10_001
+    batcher._batch_finished(now=10_002)
+    assert batcher.marking_cap == 2  # clamped at max
+
+
+def test_cap_history_recorded():
+    batcher = AdaptiveCapBatcher(target_duration=1000)
+    batcher._form_batch = lambda now: None
+    batcher._batch_start_time = 0
+    batcher._batch_finished(now=10)
+    assert batcher.cap_history[-1] == batcher.marking_cap
+    assert len(batcher.cap_history) == 2
+
+
+def test_parbs_adaptive_variant_constructs():
+    scheduler = ParBsScheduler(4, batching="adaptive")
+    assert isinstance(scheduler.batcher, AdaptiveCapBatcher)
+    assert "adaptive" in scheduler.name
+
+
+def test_adaptive_end_to_end():
+    queue = EventQueue()
+    scheduler = ParBsScheduler(4, batching="adaptive")
+    controller = MemoryController(queue, DramConfig(), scheduler, 4)
+    done = []
+    for i in range(40):
+        r = MemoryRequest(thread_id=i % 4, address=0, channel=0, bank=i % 8, row=i)
+        r.on_complete = lambda _r: done.append(1)
+        controller.enqueue(r)
+    queue.run()
+    assert len(done) == 40
+    assert scheduler.batcher.total_marked == 0
+
+
+def test_adaptive_runs_full_workload():
+    runner = ExperimentRunner(instructions=20_000)
+    result = runner.run_workload(
+        ["hmmer", "astar", "gromacs", "sjeng"], "PAR-BS", batching="adaptive"
+    )
+    assert result.unfairness >= 1.0
+    assert all(t.memory_slowdown >= 1.0 for t in result.threads)

@@ -1,0 +1,36 @@
+"""Tests for the ASCII bar chart helper."""
+
+from repro.experiments.reporting import ascii_bars
+
+
+def test_bars_scale_to_peak():
+    text = ascii_bars({"a": 1.0, "b": 2.0}, width=10)
+    lines = text.splitlines()
+    assert lines[0].count("#") == 5
+    assert lines[1].count("#") == 10
+
+
+def test_bars_include_values():
+    text = ascii_bars({"x": 1.234}, width=4)
+    assert "1.234" in text
+
+
+def test_bars_with_title():
+    text = ascii_bars({"x": 1.0}, title="unfairness:")
+    assert text.splitlines()[0] == "unfairness:"
+
+
+def test_bars_empty_mapping():
+    assert ascii_bars({}) == ""
+    assert ascii_bars({}, title="t") == "t"
+
+
+def test_bars_zero_values_render_without_crash():
+    text = ascii_bars({"a": 0.0, "b": 0.0})
+    assert "0.000" in text
+
+
+def test_bars_labels_aligned():
+    text = ascii_bars({"short": 1.0, "a-much-longer-label": 1.0}, width=5)
+    starts = {line.index("#") for line in text.splitlines()}
+    assert len(starts) == 1

@@ -1,0 +1,164 @@
+"""Unit tests for the cache model and MSHRs."""
+
+import pytest
+
+from repro.cache.cache import Cache
+from repro.cache.mshr import MshrFile
+
+
+def small_cache(**kwargs):
+    defaults = dict(size_bytes=1024, associativity=2, line_bytes=64)
+    defaults.update(kwargs)
+    return Cache(**defaults)
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        Cache(0, 4)
+    with pytest.raises(ValueError):
+        Cache(1000, 3, 64)  # not divisible
+
+
+def test_geometry():
+    c = small_cache()
+    assert c.num_sets == 8
+
+
+def test_miss_then_fill_then_hit():
+    c = small_cache()
+    assert c.access(0).hit is False
+    c.fill(0)
+    assert c.access(0).hit is True
+    assert c.stats.hits == 1
+    assert c.stats.misses == 1
+
+
+def test_access_does_not_allocate():
+    c = small_cache()
+    c.access(0)
+    assert c.lookup(0) is False
+
+
+def test_same_line_different_offsets_hit():
+    c = small_cache()
+    c.fill(0)
+    assert c.access(63).hit is True
+    assert c.access(64).hit is False
+
+
+def test_lru_eviction_order():
+    c = small_cache()  # 2-way
+    set_stride = c.num_sets * c.line_bytes
+    a, b, d = 0, set_stride, 2 * set_stride  # same set
+    c.fill(a)
+    c.fill(b)
+    c.access(a)  # a is now MRU
+    c.fill(d)  # evicts b (LRU)
+    assert c.lookup(a) is True
+    assert c.lookup(b) is False
+    assert c.lookup(d) is True
+
+
+def test_dirty_eviction_returns_writeback_address():
+    c = small_cache()
+    set_stride = c.num_sets * c.line_bytes
+    c.fill(0, dirty=True)
+    c.fill(set_stride)
+    result = c.fill(2 * set_stride)
+    assert result.writeback_address == 0
+    assert c.stats.writebacks == 1
+
+
+def test_clean_eviction_has_no_writeback():
+    c = small_cache()
+    set_stride = c.num_sets * c.line_bytes
+    c.fill(0)
+    c.fill(set_stride)
+    result = c.fill(2 * set_stride)
+    assert result.writeback_address is None
+    assert c.stats.evictions == 1
+
+
+def test_write_access_marks_dirty():
+    c = small_cache()
+    c.fill(0)
+    c.access(0, is_write=True)
+    set_stride = c.num_sets * c.line_bytes
+    c.fill(set_stride)
+    result = c.fill(2 * set_stride)
+    assert result.writeback_address == 0
+
+
+def test_invalidate_reports_dirty():
+    c = small_cache()
+    c.fill(0, dirty=True)
+    assert c.invalidate(0) is True
+    assert c.lookup(0) is False
+    assert c.invalidate(0) is False  # already gone
+
+
+def test_fill_existing_line_is_noop_eviction():
+    c = small_cache()
+    c.fill(0)
+    result = c.fill(0, dirty=True)
+    assert result.hit is True
+    assert c.stats.evictions == 0
+
+
+def test_hit_rate():
+    c = small_cache()
+    c.fill(0)
+    c.access(0)
+    c.access(64)
+    assert c.stats.hit_rate == pytest.approx(0.5)
+
+
+# --- MSHRs -------------------------------------------------------------
+
+
+def test_mshr_capacity_validation():
+    with pytest.raises(ValueError):
+        MshrFile(0)
+
+
+def test_primary_miss_allocates():
+    m = MshrFile(4)
+    assert m.allocate(0, None) is True
+    assert m.outstanding(0) is True
+    assert len(m) == 1
+
+
+def test_secondary_miss_merges():
+    m = MshrFile(4)
+    m.allocate(0, None)
+    waiter = lambda: None
+    assert m.allocate(0, waiter) is False
+    assert m.merges == 1
+    assert len(m) == 1
+
+
+def test_complete_returns_waiters():
+    m = MshrFile(4)
+    seen = []
+    m.allocate(0, lambda: seen.append("a"))
+    m.allocate(0, lambda: seen.append("b"))
+    for waiter in m.complete(0):
+        waiter()
+    assert seen == ["a", "b"]
+    assert m.outstanding(0) is False
+
+
+def test_complete_unknown_raises():
+    with pytest.raises(KeyError):
+        MshrFile(4).complete(123)
+
+
+def test_full_file_rejects_primary_miss():
+    m = MshrFile(2)
+    m.allocate(0, None)
+    m.allocate(64, None)
+    assert m.full is True
+    with pytest.raises(RuntimeError):
+        m.allocate(128, None)
+    # Merging into an existing entry is still allowed when full.
+    assert m.allocate(0, lambda: None) is False

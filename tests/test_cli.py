@@ -1,0 +1,44 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 11" in out
+    assert "table4" in out
+
+
+def test_fig3_command(capsys):
+    assert main(["fig3"]) == 0
+    assert "Figure 3" in capsys.readouterr().out
+
+
+def test_case_study_alias(capsys):
+    assert main(["--instructions", "20000", "case-study", "fig5"]) == 0
+    out = capsys.readouterr().out
+    assert "libquantum" in out
+    assert "PAR-BS" in out
+
+
+def test_aggregate_command(capsys):
+    assert main(["--instructions", "20000", "aggregate", "--cores", "4", "--count", "1"]) == 0
+    assert "aggregate" in capsys.readouterr().out
+
+
+def test_sweep_command(capsys):
+    assert main(["--instructions", "20000", "sweep", "ranking", "--count", "1"]) == 0
+    assert "ranking" in capsys.readouterr().out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,159 @@
+"""Unit tests for the analytical out-of-order core model.
+
+The core is exercised against a fixed-latency memory port, where expected
+cycle counts can be derived by hand.
+"""
+
+import pytest
+
+from repro.config import CoreConfig
+from repro.cpu.core import Core
+from repro.cpu.trace import Trace, TraceEntry
+from repro.events import EventQueue
+
+LATENCY = 200
+
+
+class FixedLatencyPort:
+    """Completes every read after a fixed delay; records issue times."""
+
+    def __init__(self, queue, latency=LATENCY):
+        self.queue = queue
+        self.latency = latency
+        self.issues = []
+
+    def access(self, thread_id, address, is_write, on_complete):
+        self.issues.append((self.queue.now, address, is_write))
+        if on_complete is not None:
+            self.queue.schedule_in(self.latency, on_complete)
+
+
+def run_core(entries, config=None, latency=LATENCY, repeat=False):
+    queue = EventQueue()
+    port = FixedLatencyPort(queue, latency)
+    core = Core(0, Trace(entries), queue, port, config or CoreConfig(), repeat=repeat)
+    core.start()
+    queue.run(max_events=1_000_000)
+    return core, port
+
+
+def loads(n, gap=12, stride=64):
+    return [TraceEntry(gap, i * stride) for i in range(n)]
+
+
+def test_compute_only_trace_retires_at_width():
+    core, _ = run_core([TraceEntry(299, 0)], latency=0)
+    snap = core.snapshot
+    assert snap is not None
+    assert snap.instructions == 300
+    assert snap.cycles == pytest.approx(100, abs=2)  # 300 instr / width 3
+
+
+def test_single_load_stalls_for_latency():
+    core, _ = run_core([TraceEntry(0, 0)])
+    snap = core.snapshot
+    assert snap.loads == 1
+    assert snap.stall_cycles == pytest.approx(LATENCY, abs=3)
+
+
+def test_independent_loads_overlap():
+    core, _ = run_core(loads(10))
+    snap = core.snapshot
+    # All 10 loads fit in the window and issue nearly together: the core
+    # stalls roughly once, not ten times.
+    assert snap.stall_cycles < 2 * LATENCY
+
+
+def test_chained_loads_serialize():
+    entries = [
+        TraceEntry(12, i * 64, depends_on=(i - 1 if i > 0 else None))
+        for i in range(50)
+    ]
+    core, _ = run_core(entries)
+    snap = core.snapshot
+    # Every load stalls for the full latency minus retire time of the gap.
+    assert snap.avg_stall_per_request == pytest.approx(LATENCY - 5, abs=3)
+
+
+def test_dependent_request_issued_after_parent_completes():
+    entries = [TraceEntry(0, 0), TraceEntry(0, 64, depends_on=0)]
+    core, port = run_core(entries)
+    assert port.issues[1][0] >= port.issues[0][0] + LATENCY
+
+
+def test_dependency_does_not_block_independent_younger_loads():
+    entries = [
+        TraceEntry(0, 0),
+        TraceEntry(0, 64, depends_on=0),
+        TraceEntry(0, 128),  # independent: must not wait for the chain
+    ]
+    core, port = run_core(entries)
+    issue_times = {addr: t for t, addr, _ in port.issues}
+    assert issue_times[128] < issue_times[64]
+
+
+def test_window_limits_outstanding_loads():
+    config = CoreConfig(window_size=30, width=3, mshrs=32)
+    # Loads every 10 instructions: only 3 fit in a 30-entry window.
+    core, port = run_core(loads(12, gap=9), config)
+    first_burst = [t for t, _, _ in port.issues if t < LATENCY]
+    assert len(first_burst) == 3
+
+
+def test_mshrs_limit_outstanding_loads():
+    config = CoreConfig(window_size=128, mshrs=2)
+    core, port = run_core(loads(8, gap=0), config)
+    first_burst = [t for t, _, _ in port.issues if t < LATENCY]
+    assert len(first_burst) == 2
+
+
+def test_stores_do_not_block_commit():
+    entries = [TraceEntry(0, i * 64, is_write=True) for i in range(5)]
+    core, _ = run_core(entries)
+    snap = core.snapshot
+    assert snap.stores == 5
+    assert snap.stall_cycles == 0
+
+
+def test_stores_are_issued_to_memory():
+    entries = [TraceEntry(0, 0, is_write=True), TraceEntry(0, 64)]
+    core, port = run_core(entries)
+    assert any(w for _, _, w in port.issues)
+
+
+def test_snapshot_taken_at_first_completion_with_repeat():
+    core, port = run_core(loads(4), repeat=True)
+    snap = core.snapshot
+    assert core.finished is True
+    assert snap.loads == 4
+    # The core kept running after the snapshot (repeat mode).
+    assert core.loads_issued >= snap.loads
+
+
+def test_no_repeat_core_stops():
+    core, port = run_core(loads(4), repeat=False)
+    assert core.loads_issued == 4
+
+
+def test_mcpi_and_ipc_consistency():
+    core, _ = run_core(loads(6))
+    snap = core.snapshot
+    assert snap.mcpi == pytest.approx(snap.stall_cycles / snap.instructions)
+    assert snap.ipc == pytest.approx(snap.instructions / snap.cycles)
+    assert snap.avg_stall_per_request == pytest.approx(snap.stall_cycles / snap.loads)
+
+
+def test_ipc_bounded_by_width():
+    core, _ = run_core([TraceEntry(1000, 0)], latency=0)
+    assert core.snapshot.ipc <= CoreConfig().width + 1e-9
+
+
+def test_retired_never_exceeds_dispatched():
+    core, _ = run_core(loads(20))
+    assert core._retired <= core._dispatched
+
+
+def test_zero_latency_memory_still_finishes():
+    core, _ = run_core(loads(5), latency=0)
+    assert core.snapshot is not None
+    assert core.snapshot.stall_cycles <= 5

@@ -1,0 +1,122 @@
+"""Unit tests for the DRAM bank model."""
+
+import pytest
+
+from repro.dram.bank import Bank
+from repro.dram.bus import DataBus
+from repro.dram.request import MemoryRequest, RequestType
+from repro.dram.timing import ddr2_800
+
+
+def make_request(row=0, bank=0, write=False):
+    return MemoryRequest(
+        thread_id=0,
+        address=0,
+        channel=0,
+        bank=bank,
+        row=row,
+        type=RequestType.WRITE if write else RequestType.READ,
+    )
+
+
+@pytest.fixture
+def timing():
+    return ddr2_800()
+
+
+@pytest.fixture
+def bank(timing):
+    return Bank(timing)
+
+
+@pytest.fixture
+def bus(timing):
+    return DataBus(timing)
+
+
+def test_initial_state_is_closed(bank):
+    assert bank.open_row is None
+    assert bank.row_state(5) == "closed"
+
+
+def test_first_access_is_row_closed_latency(bank, bus, timing):
+    outcome = bank.service(make_request(row=5), now=0, bus=bus)
+    assert outcome.row_result == "closed"
+    assert outcome.completion == timing.tRCD + timing.tCL + timing.tBUS
+
+
+def test_row_hit_after_open(bank, bus, timing):
+    bank.service(make_request(row=5), now=0, bus=bus)
+    start = bank.busy_until
+    outcome = bank.service(make_request(row=5), now=start, bus=bus)
+    assert outcome.row_result == "hit"
+    assert outcome.completion - outcome.start == timing.tCL + timing.tBUS
+
+
+def test_row_conflict_pays_precharge(bank, bus, timing):
+    bank.service(make_request(row=5), now=0, bus=bus)
+    start = max(bank.busy_until, bank._activate_time + timing.tRAS)
+    outcome = bank.service(make_request(row=9), now=start, bus=bus)
+    assert outcome.row_result == "conflict"
+    assert (
+        outcome.completion - outcome.start
+        == timing.tRP + timing.tRCD + timing.tCL + timing.tBUS
+    )
+
+
+def test_conflict_waits_for_tras(bank, bus, timing):
+    # Precharge may not occur before the open row has been open tRAS cycles.
+    bank.service(make_request(row=5), now=0, bus=bus)
+    outcome = bank.service(make_request(row=9), now=bank.busy_until, bus=bus)
+    activate_time = timing.tRCD  # first ACT completed at tRCD, issued at 0
+    assert outcome.completion >= activate_time - timing.tRCD + timing.tRAS + timing.tRP
+
+
+def test_open_row_updated_after_access(bank, bus):
+    bank.service(make_request(row=5), now=0, bus=bus)
+    assert bank.open_row == 5
+    assert bank.row_state(5) == "hit"
+    assert bank.row_state(6) == "conflict"
+
+
+def test_busy_bank_delays_next_access(bank, bus):
+    first = bank.service(make_request(row=5), now=0, bus=bus)
+    second = bank.service(make_request(row=5), now=0, bus=bus)
+    assert second.start >= first.completion
+
+
+def test_earliest_start_respects_busy(bank, bus):
+    bank.service(make_request(row=1), now=0, bus=bus)
+    assert bank.earliest_start(0) == bank.busy_until
+    assert bank.earliest_start(bank.busy_until + 10) == bank.busy_until + 10
+
+
+def test_write_sets_write_recovery(bank, bus, timing):
+    outcome = bank.service(make_request(row=5, write=True), now=0, bus=bus)
+    assert bank._write_recovery_until == outcome.completion + timing.tWR
+    # A conflict after the write must wait out tWR before precharging.
+    conflict = bank.service(make_request(row=9), now=outcome.completion, bus=bus)
+    assert conflict.completion >= outcome.completion + timing.tWR + timing.tRP
+
+
+def test_stats_track_hits_and_conflicts(bank, bus):
+    bank.service(make_request(row=1), now=0, bus=bus)
+    bank.service(make_request(row=1), now=bank.busy_until, bus=bus)
+    bank.service(make_request(row=2), now=bank.busy_until + 10_000, bus=bus)
+    assert bank.accesses == 3
+    assert bank.row_hits == 1
+    assert bank.row_conflicts == 1
+    assert bank.row_hit_rate == pytest.approx(1 / 3)
+
+
+def test_row_hit_rate_zero_without_accesses(bank):
+    assert bank.row_hit_rate == 0.0
+
+
+def test_data_start_waits_for_bus(bank, timing):
+    bus = DataBus(timing)
+    bus.reserve(300)  # another bank's burst occupies the bus until 340
+    outcome = bank.service(make_request(row=5), now=0, bus=bus)
+    # CAS data is ready at tRCD+tCL=120 but the bus is busy until 340.
+    assert outcome.data_start == 300 + timing.tBUS
+    assert outcome.completion == outcome.data_start + timing.tBUS

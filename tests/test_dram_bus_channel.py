@@ -1,0 +1,70 @@
+"""Unit tests for the data bus and channel models."""
+
+from repro.dram.bus import DataBus
+from repro.dram.channel import Channel
+from repro.dram.timing import ddr2_800
+
+
+def test_bus_back_to_back_bursts_serialize():
+    t = ddr2_800()
+    bus = DataBus(t)
+    first = bus.reserve(0)
+    second = bus.reserve(0)
+    assert first == 0
+    assert second == t.tBUS
+    assert bus.free_at == 2 * t.tBUS
+
+
+def test_bus_respects_earliest():
+    t = ddr2_800()
+    bus = DataBus(t)
+    assert bus.reserve(100) == 100
+    assert bus.free_at == 100 + t.tBUS
+
+
+def test_bus_counts_busy_cycles_and_transfers():
+    t = ddr2_800()
+    bus = DataBus(t)
+    bus.reserve(0)
+    bus.reserve(0)
+    assert bus.transfers == 2
+    assert bus.busy_cycles == 2 * t.tBUS
+
+
+def test_bus_utilization():
+    t = ddr2_800()
+    bus = DataBus(t)
+    bus.reserve(0)
+    assert bus.utilization(t.tBUS * 2) == 0.5
+    assert bus.utilization(0) == 0.0
+
+
+def test_channel_has_banks_and_bus():
+    ch = Channel(ddr2_800(), num_banks=8)
+    assert ch.num_banks == 8
+    assert len({id(b) for b in ch.banks}) == 8
+
+
+def test_channel_command_slots_are_spaced_by_tck():
+    t = ddr2_800()
+    ch = Channel(t, num_banks=8)
+    first = ch.command_slot(0)
+    second = ch.command_slot(0)
+    assert first == 0
+    assert second == t.tCK
+
+
+def test_channel_next_command_time_does_not_consume():
+    t = ddr2_800()
+    ch = Channel(t, num_banks=8)
+    ch.command_slot(0)
+    assert ch.next_command_time(0) == t.tCK
+    assert ch.next_command_time(0) == t.tCK  # unchanged
+    assert ch.command_slot(5 * t.tCK) == 5 * t.tCK
+
+
+def test_channel_requires_banks():
+    import pytest
+
+    with pytest.raises(ValueError):
+        Channel(ddr2_800(), num_banks=0)

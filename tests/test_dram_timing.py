@@ -1,0 +1,73 @@
+"""Unit tests for DRAM timing parameters."""
+
+import pytest
+
+from repro.dram.timing import DramTiming, ddr2_800
+
+
+def test_baseline_matches_paper_table2():
+    # DDR2-800 at 4 GHz: 15 ns = 60 cycles, BL/2 = 10 ns = 40 cycles.
+    t = ddr2_800()
+    assert t.tCL == 60
+    assert t.tRCD == 60
+    assert t.tRP == 60
+    assert t.tBUS == 40
+
+
+def test_row_hit_latency_is_cas_only():
+    t = ddr2_800()
+    assert t.row_hit_latency == t.tCL
+
+
+def test_row_closed_latency_adds_activate():
+    t = ddr2_800()
+    assert t.row_closed_latency == t.tRCD + t.tCL
+
+
+def test_row_conflict_latency_adds_precharge():
+    t = ddr2_800()
+    assert t.row_conflict_latency == t.tRP + t.tRCD + t.tCL
+
+
+def test_latency_ordering():
+    t = ddr2_800()
+    assert t.row_hit_latency < t.row_closed_latency < t.row_conflict_latency
+
+
+def test_round_trip_includes_overhead_and_burst():
+    t = ddr2_800()
+    assert t.round_trip("hit") == t.overhead + t.tCL + t.tBUS
+    assert t.round_trip("closed") == t.overhead + t.tRCD + t.tCL + t.tBUS
+    assert t.round_trip("conflict") == t.overhead + t.tRP + t.tRCD + t.tCL + t.tBUS
+
+
+def test_round_trip_hit_is_160_cycles():
+    # The paper's uncontended row-hit round trip: 40 ns = 160 cycles.
+    assert ddr2_800().round_trip("hit") == 160
+
+
+def test_round_trip_rejects_unknown_kind():
+    with pytest.raises(KeyError):
+        ddr2_800().round_trip("open")
+
+
+def test_negative_parameters_rejected():
+    with pytest.raises(ValueError):
+        DramTiming(tCL=-1)
+
+
+def test_zero_tck_rejected():
+    with pytest.raises(ValueError):
+        DramTiming(tCK=0)
+
+
+def test_timing_is_immutable():
+    t = ddr2_800()
+    with pytest.raises(AttributeError):
+        t.tCL = 10
+
+
+def test_custom_timing():
+    t = DramTiming(tCK=4, tCL=20, tRCD=20, tRP=20, tRAS=60, tWR=20, tBUS=16, overhead=0)
+    assert t.row_conflict_latency == 60
+    assert t.round_trip("hit") == 36

@@ -1,0 +1,138 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.events import EventQueue, SimulationError
+
+
+def test_starts_at_time_zero():
+    assert EventQueue().now == 0
+
+
+def test_runs_single_event_at_scheduled_time():
+    q = EventQueue()
+    seen = []
+    q.schedule(10, lambda: seen.append(q.now))
+    q.run()
+    assert seen == [10]
+    assert q.now == 10
+
+
+def test_events_run_in_time_order():
+    q = EventQueue()
+    seen = []
+    for t in (30, 10, 20):
+        q.schedule(t, lambda t=t: seen.append(t))
+    q.run()
+    assert seen == [10, 20, 30]
+
+
+def test_equal_time_events_run_in_fifo_order():
+    q = EventQueue()
+    seen = []
+    for i in range(5):
+        q.schedule(7, lambda i=i: seen.append(i))
+    q.run()
+    assert seen == [0, 1, 2, 3, 4]
+
+
+def test_priority_breaks_ties_before_sequence():
+    q = EventQueue()
+    seen = []
+    q.schedule(5, lambda: seen.append("low"), priority=2)
+    q.schedule(5, lambda: seen.append("high"), priority=0)
+    q.run()
+    assert seen == ["high", "low"]
+
+
+def test_schedule_in_is_relative_to_now():
+    q = EventQueue()
+    seen = []
+    q.schedule(10, lambda: q.schedule_in(5, lambda: seen.append(q.now)))
+    q.run()
+    assert seen == [15]
+
+
+def test_scheduling_in_the_past_raises():
+    q = EventQueue()
+    q.schedule(10, lambda: None)
+    q.run()
+    with pytest.raises(SimulationError):
+        q.schedule(5, lambda: None)
+
+
+def test_step_returns_false_when_empty():
+    assert EventQueue().step() is False
+
+
+def test_step_returns_true_and_advances():
+    q = EventQueue()
+    q.schedule(3, lambda: None)
+    assert q.step() is True
+    assert q.now == 3
+
+
+def test_run_until_stops_before_later_events():
+    q = EventQueue()
+    seen = []
+    q.schedule(10, lambda: seen.append(10))
+    q.schedule(100, lambda: seen.append(100))
+    q.run(until=50)
+    assert seen == [10]
+    assert q.now == 50  # clock advances to the until bound
+    q.run()
+    assert seen == [10, 100]
+
+
+def test_run_max_events_limit():
+    q = EventQueue()
+    seen = []
+    for t in range(5):
+        q.schedule(t + 1, lambda t=t: seen.append(t))
+    ran = q.run(max_events=2)
+    assert ran == 2
+    assert len(seen) == 2
+
+
+def test_run_returns_event_count():
+    q = EventQueue()
+    for t in range(4):
+        q.schedule(t, lambda: None)
+    assert q.run() == 4
+
+
+def test_peek_time():
+    q = EventQueue()
+    assert q.peek_time() is None
+    q.schedule(42, lambda: None)
+    assert q.peek_time() == 42
+
+
+def test_len_counts_pending_events():
+    q = EventQueue()
+    q.schedule(1, lambda: None)
+    q.schedule(2, lambda: None)
+    assert len(q) == 2
+    q.step()
+    assert len(q) == 1
+
+
+def test_events_may_schedule_same_time_events():
+    q = EventQueue()
+    seen = []
+    q.schedule(5, lambda: q.schedule(5, lambda: seen.append("nested")))
+    q.run()
+    assert seen == ["nested"]
+    assert q.now == 5
+
+
+def test_deterministic_across_instances():
+    def build():
+        q = EventQueue()
+        order = []
+        for i, t in enumerate([4, 4, 2, 9, 2]):
+            q.schedule(t, lambda i=i: order.append(i))
+        q.run()
+        return order
+
+    assert build() == build()

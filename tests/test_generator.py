@@ -1,0 +1,127 @@
+"""Unit tests for the synthetic trace generator."""
+
+import pytest
+
+from repro.dram.address import AddressMapping
+from repro.workloads.generator import TraceGenerator, generate_trace
+from repro.workloads.profiles import profile
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return TraceGenerator()
+
+
+def test_deterministic_given_seed(generator):
+    a = generator.generate(profile("mcf"), instructions=20_000, seed=1)
+    b = generator.generate(profile("mcf"), instructions=20_000, seed=1)
+    assert list(a) == list(b)
+
+
+def test_different_seeds_differ(generator):
+    a = generator.generate(profile("mcf"), instructions=20_000, seed=1)
+    b = generator.generate(profile("mcf"), instructions=20_000, seed=2)
+    assert list(a) != list(b)
+
+
+def test_mpki_matches_target(generator):
+    for name in ("mcf", "libquantum", "hmmer"):
+        trace = generator.generate(profile(name), instructions=100_000, seed=0)
+        assert trace.accesses_per_kilo_instruction() == pytest.approx(
+            profile(name).mpki, rel=0.15
+        )
+
+
+def test_low_mpki_benchmarks_get_minimum_accesses(generator):
+    trace = generator.generate(profile("povray"), instructions=50_000, seed=0)
+    assert trace.memory_accesses >= 24
+
+
+def test_write_fraction(generator):
+    trace = generator.generate(profile("mcf"), instructions=100_000, seed=0)
+    fraction = trace.writes / trace.memory_accesses
+    assert fraction == pytest.approx(0.10, abs=0.03)
+
+
+def test_streaming_benchmark_has_sequential_runs(generator):
+    trace = generator.generate(profile("libquantum"), instructions=50_000, seed=0)
+    reads = [e.address for e in trace]
+    sequential = sum(
+        1 for a, b in zip(reads, reads[1:]) if b - a == 64
+    )
+    assert sequential / len(reads) > 0.8  # almost a pure stream
+
+
+def test_low_locality_benchmark_jumps_often(generator):
+    trace = generator.generate(profile("GemsFDTD"), instructions=50_000, seed=0)
+    addresses = [e.address for e in trace]
+    sequential = sum(1 for a, b in zip(addresses, addresses[1:]) if b - a == 64)
+    assert sequential / len(addresses) < 0.6
+
+
+def test_chained_benchmark_has_dependencies(generator):
+    trace = generator.generate(profile("hmmer"), instructions=50_000, seed=0)
+    deps = sum(1 for e in trace if e.depends_on is not None)
+    assert deps > 0.3 * len(trace)
+
+
+def test_streaming_benchmark_has_few_dependencies(generator):
+    trace = generator.generate(profile("libquantum"), instructions=50_000, seed=0)
+    deps = sum(1 for e in trace if e.depends_on is not None)
+    assert deps < 0.2 * len(trace)
+
+
+def test_dependencies_point_backwards_to_reads(generator):
+    trace = generator.generate(profile("mcf"), instructions=50_000, seed=0)
+    for i, entry in enumerate(trace):
+        if entry.depends_on is not None:
+            assert entry.depends_on < i
+            assert not trace[entry.depends_on].is_write
+
+
+def test_high_blp_benchmark_spreads_banks(generator):
+    mapping = AddressMapping()
+    trace = generator.generate(profile("mcf"), instructions=50_000, seed=0)
+    window_banks = set()
+    for entry in list(trace)[:16]:
+        coords = mapping.map(entry.address)
+        window_banks.add((coords.channel, coords.bank))
+    assert len(window_banks) >= 4
+
+
+def test_instructions_too_small_rejected(generator):
+    with pytest.raises(ValueError):
+        generator.generate(profile("mcf"), instructions=10)
+
+
+def test_write_fraction_validation():
+    with pytest.raises(ValueError):
+        TraceGenerator(write_fraction=1.0)
+
+
+def test_generate_trace_convenience():
+    trace = generate_trace(profile("astar"), instructions=30_000, seed=0)
+    assert trace.name == "astar"
+    assert len(trace) > 0
+
+
+def test_total_instructions_close_to_target(generator):
+    trace = generator.generate(profile("mcf"), instructions=100_000, seed=0)
+    assert trace.total_instructions == pytest.approx(100_000, rel=0.2)
+
+
+def test_knobs_table_covers_all_profiles(generator):
+    from repro.workloads.generator import _CALIBRATED_KNOBS
+    from repro.workloads.profiles import PROFILES
+
+    assert set(_CALIBRATED_KNOBS) == set(PROFILES)
+    for walkers, dep, cont in _CALIBRATED_KNOBS.values():
+        assert walkers >= 1
+        assert 0.0 <= dep <= 1.0
+        assert 0.0 <= cont <= 1.0
+
+
+def test_solve_run_length_monotonic(generator):
+    low = generator._solve_run_length(0.2)
+    high = generator._solve_run_length(0.9)
+    assert high > low >= 1.0

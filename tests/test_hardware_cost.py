@@ -1,0 +1,41 @@
+"""Tests for the Table 1 hardware cost model."""
+
+import pytest
+
+from repro.core.hardware import hardware_cost
+
+
+def test_paper_configuration_totals_1412_bits():
+    # Section 6: "Assuming an 8-core CMP, 128-entry request buffer and 8
+    # DRAM banks, the extra hardware state ... is 1412 bits."
+    assert hardware_cost(8, 128, 8).total_bits == 1412
+
+
+def test_paper_configuration_breakdown():
+    cost = hardware_cost(8, 128, 8)
+    assert cost.per_request_bits == 128 * (1 + 3 + 3)
+    assert cost.per_thread_per_bank_bits == 8 * 8 * 7
+    assert cost.per_thread_bits == 8 * 7
+    assert cost.individual_bits == 7 + 5
+
+
+def test_cost_scales_with_threads():
+    assert hardware_cost(16, 128, 8).total_bits > hardware_cost(4, 128, 8).total_bits
+
+
+def test_cost_scales_with_buffer():
+    assert hardware_cost(8, 256, 8).total_bits > hardware_cost(8, 128, 8).total_bits
+
+
+def test_breakdown_text():
+    text = hardware_cost(8, 128, 8).breakdown()
+    assert "total: 1412 bits" in text
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        hardware_cost(1, 128, 8)
+    with pytest.raises(ValueError):
+        hardware_cost(8, 1, 8)
+    with pytest.raises(ValueError):
+        hardware_cost(8, 128, 0)

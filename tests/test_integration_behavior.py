@@ -1,0 +1,138 @@
+"""Qualitative integration tests: paper-level behavioural invariants.
+
+These run small simulations and assert the *shape* of the paper's claims,
+not exact magnitudes (trace sizes here are tiny for test speed).
+"""
+
+import pytest
+
+from repro.config import baseline_system
+from repro.core.batcher import OPPORTUNISTIC
+from repro.sim.runner import ExperimentRunner
+
+INSTRUCTIONS = 90_000
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(instructions=INSTRUCTIONS, seed=0)
+
+
+@pytest.fixture(scope="module")
+def identical_lbm(runner):
+    return {
+        name: runner.run_workload(["lbm"] * 4, name)
+        for name in ("FR-FCFS", "NFQ", "PAR-BS")
+    }
+
+
+def test_identical_threads_are_treated_fairly(identical_lbm):
+    # Case Study III: four identical copies -> unfairness near 1 everywhere.
+    for name, result in identical_lbm.items():
+        assert result.unfairness < 1.4, name
+
+
+def test_parbs_beats_nfq_on_identical_high_blp_threads(identical_lbm):
+    # NFQ's deadline balancing destroys row locality (paper Fig. 7).
+    assert (
+        identical_lbm["PAR-BS"].weighted_speedup
+        > identical_lbm["NFQ"].weighted_speedup
+    )
+
+
+def test_nfq_destroys_row_locality_of_identical_streams(identical_lbm):
+    def hit_rate(result):
+        return sum(t.row_hit_rate for t in result.threads) / len(result.threads)
+
+    assert hit_rate(identical_lbm["NFQ"]) < hit_rate(identical_lbm["FR-FCFS"])
+
+
+@pytest.fixture(scope="module")
+def cs1(runner):
+    workload = ["libquantum", "mcf", "GemsFDTD", "xalancbmk"]
+    return {
+        name: runner.run_workload(workload, name)
+        for name in ("FR-FCFS", "NFQ", "STFM", "PAR-BS")
+    }
+
+
+def test_frfcfs_favors_the_streaming_thread(cs1):
+    # Under FR-FCFS the high-row-locality intensive thread (libquantum) is
+    # slowed least (paper Fig. 5).
+    slowdowns = cs1["FR-FCFS"].slowdowns()
+    two_least = sorted(slowdowns, key=slowdowns.get)[:2]
+    assert 0 in two_least
+
+
+def test_parbs_preserves_mcf_bank_parallelism_best(cs1):
+    # mcf (highest BLP) is hurt least by PAR-BS among the QoS schedulers
+    # (paper Figs. 5 and 9).
+    mcf = 1
+    assert cs1["PAR-BS"].slowdowns()[mcf] <= cs1["STFM"].slowdowns()[mcf] + 0.05
+    assert cs1["PAR-BS"].slowdowns()[mcf] <= cs1["NFQ"].slowdowns()[mcf] + 0.05
+
+
+def test_parbs_keeps_mcf_blp_higher_than_nfq(cs1):
+    mcf = 1
+    parbs_blp = cs1["PAR-BS"].threads[mcf].blp_shared
+    nfq_blp = cs1["NFQ"].threads[mcf].blp_shared
+    assert parbs_blp > 0.9 * nfq_blp
+
+
+def test_qos_schedulers_fairer_than_frfcfs(cs1):
+    assert cs1["PAR-BS"].unfairness < 1.15 * cs1["FR-FCFS"].unfairness
+    assert cs1["STFM"].unfairness < 1.15 * cs1["FR-FCFS"].unfairness
+
+
+def test_batching_bounds_worst_case_latency(runner):
+    # Table 4: PAR-BS's worst-case request latency is far below NFQ/STFM's.
+    workload = ["libquantum", "mcf", "GemsFDTD", "xalancbmk"]
+    parbs = runner.run_workload(workload, "PAR-BS")
+    nfq = runner.run_workload(workload, "NFQ")
+    assert parbs.worst_case_latency < 1.5 * nfq.worst_case_latency
+
+
+def test_priorities_are_respected(runner):
+    result = runner.run_workload(
+        ["lbm"] * 4, "PAR-BS", priorities={0: 1, 1: 1, 2: 2, 3: 8}
+    )
+    slowdowns = [t.memory_slowdown for t in result.threads]
+    assert slowdowns[0] < slowdowns[2] < slowdowns[3]
+    assert slowdowns[1] < slowdowns[2]
+
+
+def test_opportunistic_thread_yields_to_critical(runner):
+    result = runner.run_workload(
+        ["libquantum", "milc", "omnetpp", "astar"],
+        "PAR-BS",
+        priorities={0: OPPORTUNISTIC, 1: OPPORTUNISTIC, 2: 1, 3: OPPORTUNISTIC},
+    )
+    slowdowns = result.slowdowns()
+    assert slowdowns[2] < 1.5  # the critical thread runs nearly alone
+    assert all(slowdowns[t] > slowdowns[2] for t in (0, 1, 3))
+
+
+def test_marking_cap_one_hurts_streaming_threads(runner):
+    workload = ["libquantum", "mcf", "GemsFDTD", "xalancbmk"]
+    tight = runner.run_workload(workload, "PAR-BS", marking_cap=1)
+    loose = runner.run_workload(workload, "PAR-BS", marking_cap=5)
+    # Cap 1 interleaves row streaks -> the streaming thread slows more
+    # (paper Fig. 11, libquantum).
+    assert tight.slowdowns()[0] > loose.slowdowns()[0]
+
+
+def test_eight_core_system_runs(runner):
+    from repro.workloads.mixes import EIGHT_CORE_MIX
+
+    runner8 = ExperimentRunner(baseline_system(8), instructions=INSTRUCTIONS)
+    result = runner8.run_workload(EIGHT_CORE_MIX, "PAR-BS")
+    assert len(result.threads) == 8
+    assert result.unfairness >= 1.0
+
+
+def test_ranking_ablation_direction(runner):
+    # Parallelism-aware ranking should not lose to rank-free batching on
+    # throughput for high-BLP threads (paper Fig. 13, 4x lbm).
+    par = runner.run_workload(["lbm"] * 4, "PAR-BS")
+    norank = runner.run_workload(["lbm"] * 4, "PAR-BS", within_batch="frfcfs")
+    assert par.hmean_speedup >= 0.95 * norank.hmean_speedup

@@ -1,0 +1,139 @@
+"""Unit tests for the evaluation metrics."""
+
+import pytest
+
+from repro.metrics.fairness import memory_slowdown, unfairness
+from repro.metrics.speedup import hmean_speedup, weighted_speedup
+from repro.metrics.summary import ThreadResult, WorkloadResult, geomean
+
+
+def test_memory_slowdown_basic():
+    assert memory_slowdown(2.0, 1.0) == 2.0
+
+
+def test_memory_slowdown_floored_at_one():
+    assert memory_slowdown(0.5, 1.0) == 1.0
+
+
+def test_memory_slowdown_handles_zero_alone():
+    # A thread with no memory stalls alone stays near slowdown 1.0 rather
+    # than dividing by zero.
+    assert memory_slowdown(0.0, 0.0) == 1.0
+
+
+def test_memory_slowdown_rejects_negative():
+    with pytest.raises(ValueError):
+        memory_slowdown(-1.0, 1.0)
+
+
+def test_unfairness_is_max_over_min():
+    assert unfairness([2.0, 4.0, 1.0]) == 4.0
+
+
+def test_unfairness_of_equal_slowdowns_is_one():
+    assert unfairness([3.0, 3.0, 3.0]) == 1.0
+
+
+def test_unfairness_accepts_mapping():
+    assert unfairness({0: 1.0, 1: 2.0}) == 2.0
+
+
+def test_unfairness_validation():
+    with pytest.raises(ValueError):
+        unfairness([])
+    with pytest.raises(ValueError):
+        unfairness([1.0, 0.0])
+
+
+def test_weighted_speedup_sums_relative_ipcs():
+    assert weighted_speedup([1.0, 2.0], [2.0, 2.0]) == pytest.approx(1.5)
+
+
+def test_weighted_speedup_max_equals_thread_count():
+    assert weighted_speedup([2.0, 2.0], [2.0, 2.0]) == pytest.approx(2.0)
+
+
+def test_hmean_speedup():
+    assert hmean_speedup([1.0, 1.0], [1.0, 1.0]) == pytest.approx(1.0)
+    assert hmean_speedup([1.0, 3.0], [2.0, 3.0]) == pytest.approx(2 / (2 + 1))
+
+
+def test_hmean_punishes_imbalance_more_than_weighted():
+    balanced_w = weighted_speedup([1.0, 1.0], [2.0, 2.0])
+    skewed_w = weighted_speedup([0.2, 1.8], [2.0, 2.0])
+    assert balanced_w == pytest.approx(skewed_w)
+    assert hmean_speedup([0.2, 1.8], [2.0, 2.0]) < hmean_speedup([1.0, 1.0], [2.0, 2.0])
+
+
+def test_speedup_validation():
+    with pytest.raises(ValueError):
+        weighted_speedup([1.0], [1.0, 2.0])
+    with pytest.raises(ValueError):
+        weighted_speedup([], [])
+    with pytest.raises(ValueError):
+        hmean_speedup([0.0], [1.0])
+
+
+def test_geomean():
+    assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+    assert geomean([5.0]) == pytest.approx(5.0)
+    with pytest.raises(ValueError):
+        geomean([])
+    with pytest.raises(ValueError):
+        geomean([1.0, -1.0])
+
+
+def make_thread(tid, ipc_shared, ipc_alone, mcpi_shared, mcpi_alone, **kw):
+    defaults = dict(
+        ast_per_req=100.0,
+        blp_shared=1.0,
+        blp_alone=1.0,
+        row_hit_rate=0.5,
+        worst_latency=1000,
+    )
+    defaults.update(kw)
+    return ThreadResult(
+        thread_id=tid,
+        benchmark=f"bench{tid}",
+        ipc_shared=ipc_shared,
+        ipc_alone=ipc_alone,
+        mcpi_shared=mcpi_shared,
+        mcpi_alone=mcpi_alone,
+        **defaults,
+    )
+
+
+def make_result():
+    return WorkloadResult(
+        scheduler="TEST",
+        workload=("bench0", "bench1"),
+        threads=(
+            make_thread(0, 1.0, 2.0, 4.0, 1.0, worst_latency=2000),
+            make_thread(1, 1.5, 2.0, 2.0, 1.0, ast_per_req=50.0),
+        ),
+    )
+
+
+def test_workload_result_slowdowns():
+    result = make_result()
+    assert result.slowdowns() == {0: 4.0, 1: 2.0}
+    assert result.unfairness == 2.0
+
+
+def test_workload_result_speedups():
+    result = make_result()
+    assert result.weighted_speedup == pytest.approx(0.5 + 0.75)
+    assert result.hmean_speedup == pytest.approx(2 / (2.0 + 4 / 3))
+
+
+def test_workload_result_ast_and_wc():
+    result = make_result()
+    assert result.avg_stall_per_request == pytest.approx(75.0)
+    assert result.worst_case_latency == 2000
+
+
+def test_workload_result_describe():
+    text = make_result().describe()
+    assert "TEST" in text
+    assert "bench0" in text
+    assert "unfairness" in text

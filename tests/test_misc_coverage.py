@@ -1,0 +1,105 @@
+"""Coverage for remaining edges: calibration helpers, summary deltas,
+system error paths, generator extremes, and named 16-core mixes."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.cpu.trace import Trace, TraceEntry
+from repro.events import SimulationError
+from repro.experiments.aggregate import AggregateResult
+from repro.experiments.summary import Table4Result
+from repro.metrics.summary import ThreadResult, WorkloadResult
+from repro.sim.factory import make_scheduler
+from repro.sim.system import System
+from repro.workloads.calibrate import measure
+from repro.workloads.generator import TraceGenerator
+from repro.workloads.mixes import SIXTEEN_CORE_MIXES
+from repro.workloads.profiles import BenchmarkProfile, profile
+
+
+def test_calibrate_measure_returns_blp_and_ast():
+    blp, ast = measure(profile("hmmer"), walkers=1, dep_prob=0.9, cont_dep_prob=0.5,
+                       instructions=20_000)
+    assert blp >= 1.0
+    assert ast > 0
+
+
+def test_calibrate_measure_walkers_raise_blp():
+    low, _ = measure(profile("mcf"), 1, 0.0, 0.0, instructions=20_000)
+    high, _ = measure(profile("mcf"), 8, 0.0, 0.0, instructions=20_000)
+    assert high > low
+
+
+def test_sixteen_core_numbered_mix_contents():
+    mix = SIXTEEN_CORE_MIXES["1,5,6,9,13-22,27,28"]
+    assert mix[0] == "leslie3d"  # benchmark #1
+    assert "matlab" in mix  # #5
+    assert "mcf" in mix  # #9
+    assert "gromacs" in mix and "sjeng" in mix  # #27, #28
+    assert len(mix) == 16
+
+
+def test_generator_zero_idle_gap_for_extreme_intensity():
+    hot = BenchmarkProfile(
+        number=1, name="firehose", kind="INT", mcpi=20.0, mpki=400.0,
+        row_hit_rate=0.5, blp=2.0, ast_per_req=60, category=7,
+    )
+    trace = TraceGenerator().generate(hot, instructions=20_000, seed=0)
+    # Demand exceeds what burst gaps alone provide: idle gap clamps to 0.
+    assert max(e.gap for e in trace) <= 2 * 2 - 1 + 1
+
+
+def test_system_event_budget_guard():
+    traces = [Trace([TraceEntry(10, i * 64) for i in range(200)])]
+    system = System(SystemConfig(num_cores=1), make_scheduler("FCFS", 1), traces)
+    with pytest.raises(SimulationError):
+        system.run(max_events=10)
+
+
+def _thread(tid, ipc_shared, ipc_alone):
+    return ThreadResult(
+        thread_id=tid, benchmark=f"b{tid}", ipc_shared=ipc_shared,
+        ipc_alone=ipc_alone, mcpi_shared=2.0, mcpi_alone=1.0,
+        ast_per_req=100.0, blp_shared=1.0, blp_alone=1.0,
+        row_hit_rate=0.5, worst_latency=1000,
+    )
+
+
+def _fake_result(scheduler, ipcs):
+    return WorkloadResult(
+        scheduler=scheduler,
+        workload=tuple(f"b{i}" for i in range(len(ipcs))),
+        threads=tuple(_thread(i, ipc, 2.0) for i, ipc in enumerate(ipcs)),
+    )
+
+
+def test_table4_deltas_vs_stfm():
+    per_mix = {
+        name: [_fake_result(name, [1.0, 1.5])]
+        for name in ("FR-FCFS", "FCFS", "NFQ", "STFM", "PAR-BS")
+    }
+    # Give PAR-BS better throughput than STFM.
+    per_mix["PAR-BS"] = [_fake_result("PAR-BS", [1.2, 1.6])]
+    aggregate = AggregateResult(num_cores=4, mixes=[["b0", "b1"]], per_mix=per_mix)
+    table = Table4Result(aggregates={4: aggregate})
+    deltas = table.deltas_vs_stfm(4)
+    assert deltas["wspeedup_pct"] > 0
+    assert "Table 4, 4-core" in table.report()
+
+
+def test_nfq_custom_threshold_constructor():
+    scheduler = make_scheduler("NFQ", 4, inversion_threshold=5000)
+    assert scheduler._inversion_threshold == 5000
+
+
+def test_stfm_custom_interval_constructor():
+    scheduler = make_scheduler("STFM", 4, interval_length=1 << 18, alpha=1.5)
+    assert scheduler.interval_length == 1 << 18
+    assert scheduler.alpha == 1.5
+
+
+def test_aggregate_result_summary_keys():
+    per_mix = {"STFM": [_fake_result("STFM", [1.0])]}
+    aggregate = AggregateResult(num_cores=4, mixes=[["b0"]], per_mix=per_mix)
+    summary = aggregate.summary()["STFM"]
+    assert set(summary) == {"unfairness", "wspeedup", "hspeedup", "ast", "wc_latency"}

@@ -1,0 +1,129 @@
+"""Unit tests for benchmark profiles and workload mixes."""
+
+import pytest
+
+from repro.workloads.mixes import (
+    CASE_STUDY_1,
+    CASE_STUDY_2,
+    CASE_STUDY_3,
+    EIGHT_CORE_MIX,
+    FIG8_SAMPLE_MIXES,
+    SIXTEEN_CORE_MIXES,
+    random_mixes,
+)
+from repro.workloads.profiles import PROFILES, by_category, category_bits, profile
+
+
+def test_all_28_table3_benchmarks_present():
+    assert len(PROFILES) == 28
+    assert {p.number for p in PROFILES.values()} == set(range(1, 29))
+
+
+def test_lookup_by_name_and_number():
+    assert profile("mcf").number == 9
+    assert profile(9).name == "mcf"
+    with pytest.raises(KeyError):
+        profile("doom")
+    with pytest.raises(KeyError):
+        profile(99)
+
+
+def test_category_bits_composition():
+    assert category_bits(True, True, True) == 7
+    assert category_bits(True, False, True) == 5
+    assert category_bits(False, False, False) == 0
+
+
+def test_category_flags():
+    mcf = profile("mcf")  # category 5 = 101
+    assert mcf.memory_intensive
+    assert not mcf.high_row_locality
+    assert mcf.high_bank_parallelism
+    sjeng = profile("sjeng")  # category 0
+    assert not sjeng.memory_intensive
+
+
+def test_by_category_partitions_profiles():
+    total = sum(len(by_category(c)) for c in range(8))
+    assert total == 28
+    assert all(p.category == 7 for p in by_category(7))
+    assert {p.name for p in by_category(7)} == {"leslie3d", "soplex", "lbm", "sphinx3"}
+
+
+def test_table3_values_spot_check():
+    libq = profile("libquantum")
+    assert libq.mpki == 50.00
+    assert libq.row_hit_rate == pytest.approx(0.984)
+    assert libq.blp == 1.10
+    assert libq.ast_per_req == 181
+    assert profile("mcf").blp == 4.75
+
+
+def test_case_study_compositions():
+    assert CASE_STUDY_1 == ["libquantum", "mcf", "GemsFDTD", "xalancbmk"]
+    assert CASE_STUDY_2 == ["matlab", "h264ref", "omnetpp", "hmmer"]
+    assert CASE_STUDY_3 == ["lbm"] * 4
+    assert len(EIGHT_CORE_MIX) == 8
+    assert EIGHT_CORE_MIX[0] == "mcf"
+
+
+def test_fig8_sample_mixes():
+    assert len(FIG8_SAMPLE_MIXES) == 10
+    assert all(len(m) == 4 for m in FIG8_SAMPLE_MIXES)
+    assert FIG8_SAMPLE_MIXES[5] == ["leslie3d"] * 4
+    for mix in FIG8_SAMPLE_MIXES:
+        for name in mix:
+            assert name in PROFILES
+
+
+def test_sixteen_core_mixes_have_16_threads():
+    assert len(SIXTEEN_CORE_MIXES) == 5
+    for name, mix in SIXTEEN_CORE_MIXES.items():
+        assert len(mix) == 16, name
+        for bench in mix:
+            assert bench in PROFILES
+
+
+def test_intensive16_is_most_intensive():
+    intensive = SIXTEEN_CORE_MIXES["intensive16"]
+    nonintensive = SIXTEEN_CORE_MIXES["non-intensive16"]
+    avg = lambda mix: sum(profile(b).mcpi for b in mix) / len(mix)
+    assert avg(intensive) > avg(nonintensive)
+
+
+def test_random_mixes_shape_and_determinism():
+    a = random_mixes(4, count=10, seed=1)
+    b = random_mixes(4, count=10, seed=1)
+    assert a == b
+    assert len(a) == 10
+    assert all(len(m) == 4 for m in a)
+
+
+def test_random_mixes_differ_across_seeds():
+    assert random_mixes(4, count=10, seed=1) != random_mixes(4, count=10, seed=2)
+
+
+def test_random_mixes_valid_benchmarks():
+    for mix in random_mixes(8, count=5, seed=3):
+        assert len(mix) == 8
+        for name in mix:
+            assert name in PROFILES
+
+
+def test_random_mixes_are_unique():
+    mixes = random_mixes(4, count=30, seed=4)
+    keys = {tuple(sorted(m)) for m in mixes}
+    assert len(keys) == len(mixes)
+
+
+def test_random_mixes_validation():
+    with pytest.raises(ValueError):
+        random_mixes(0, count=5)
+    with pytest.raises(ValueError):
+        random_mixes(4, count=0)
+
+
+def test_random_mixes_span_categories():
+    mixes = random_mixes(4, count=20, seed=5)
+    cats = {profile(b).category for m in mixes for b in m}
+    assert len(cats) >= 6  # broad category coverage

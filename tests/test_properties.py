@@ -1,0 +1,225 @@
+"""Property-based tests (hypothesis) for core data structures and
+simulator invariants."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import DramConfig
+from repro.core.abstract_model import AbstractBatch, AbstractRequest
+from repro.core.ranking import MaxTotalRanking, batch_loads
+from repro.dram.bank import Bank
+from repro.dram.bus import DataBus
+from repro.dram.controller import MemoryController
+from repro.dram.request import MemoryRequest, RequestType
+from repro.dram.timing import ddr2_800
+from repro.events import EventQueue
+from repro.metrics.fairness import unfairness
+from repro.metrics.speedup import hmean_speedup, weighted_speedup
+from repro.schedulers.frfcfs import FrFcfsScheduler
+from repro.core.parbs import ParBsScheduler
+
+# ---------------------------------------------------------------- strategies
+
+request_specs = st.lists(
+    st.tuples(
+        st.integers(0, 3),  # thread
+        st.integers(0, 7),  # bank
+        st.integers(0, 15),  # row
+        st.booleans(),  # is_write
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def build_requests(specs):
+    return [
+        MemoryRequest(
+            thread_id=t,
+            address=0,
+            channel=0,
+            bank=b,
+            row=r,
+            type=RequestType.WRITE if w else RequestType.READ,
+        )
+        for (t, b, r, w) in specs
+    ]
+
+
+# ---------------------------------------------------------------- metrics
+
+
+@given(st.lists(st.floats(1.0, 100.0), min_size=1, max_size=16))
+def test_unfairness_at_least_one(slowdowns):
+    assert unfairness(slowdowns) >= 1.0
+
+
+@given(st.lists(st.floats(1.0, 100.0), min_size=1, max_size=16))
+def test_unfairness_scale_invariant(slowdowns):
+    scaled = [2.5 * s for s in slowdowns]
+    assert abs(unfairness(scaled) - unfairness(slowdowns)) < 1e-9
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(0.01, 3.0), st.floats(0.01, 3.0)),
+        min_size=1,
+        max_size=16,
+    )
+)
+def test_speedup_bounds(pairs):
+    shared = [min(s, a) for s, a in pairs]  # shared IPC cannot exceed alone
+    alone = [a for _, a in pairs]
+    n = len(pairs)
+    ws = weighted_speedup(shared, alone)
+    hs = hmean_speedup(shared, alone)
+    assert 0 < ws <= n + 1e-9
+    assert 0 < hs <= 1 + 1e-9
+    # Harmonic mean <= arithmetic mean of the same ratios.
+    assert hs <= ws / n + 1e-9
+
+
+# ---------------------------------------------------------------- ranking
+
+
+@given(request_specs)
+def test_max_total_ranks_form_permutation(specs):
+    requests = build_requests(specs)
+    ranks = MaxTotalRanking(seed=1).rank(requests, threads=range(4))
+    assert sorted(ranks.values()) == list(range(4))
+
+
+@given(request_specs)
+def test_batch_loads_consistency(specs):
+    requests = build_requests(specs)
+    max_load, total = batch_loads(requests)
+    for thread, t in total.items():
+        assert 1 <= max_load[thread] <= t
+    assert sum(total.values()) == len(requests)
+
+
+@given(request_specs)
+def test_zero_load_threads_outrank_loaded_threads(specs):
+    requests = build_requests(specs)
+    loaded = {r.thread_id for r in requests}
+    ranks = MaxTotalRanking(seed=0).rank(requests, threads=range(5))
+    idle = set(range(5)) - loaded
+    for idle_thread in idle:
+        for busy_thread in loaded:
+            assert ranks[idle_thread] < ranks[busy_thread]
+
+
+# ---------------------------------------------------------------- abstract model
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(1, 4), st.integers(0, 3), st.integers(0, 5)),
+        min_size=1,
+        max_size=24,
+    )
+)
+@settings(max_examples=60)
+def test_abstract_schedule_conservation(reqs):
+    batch = AbstractBatch([AbstractRequest(*r) for r in reqs])
+    for policy in ("fcfs", "fr-fcfs", "par-bs"):
+        result = batch.schedule(policy)
+        # Every thread completes, and no earlier than its request count / banks.
+        assert set(result.completion) == {r[0] for r in reqs}
+        total_scheduled = sum(len(v) for v in result.bank_order.values())
+        assert total_scheduled == len(reqs)
+        for t, completion in result.completion.items():
+            own = sum(1 for r in reqs if r[0] == t)
+            assert completion >= Fraction(1, 2) * 1  # at least one access
+            assert completion <= len(reqs)  # cannot exceed serializing all
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(1, 4), st.integers(0, 3), st.integers(0, 5)),
+        min_size=1,
+        max_size=24,
+    )
+)
+@settings(max_examples=60)
+def test_frfcfs_average_not_worse_than_fcfs_in_abstract_model(reqs):
+    batch = AbstractBatch([AbstractRequest(*r) for r in reqs])
+    fcfs = batch.schedule("fcfs").average_completion
+    frfcfs = batch.schedule("fr-fcfs").average_completion
+    # Row-hit-first can only reduce total service time per bank.
+    assert frfcfs <= fcfs + Fraction(1, 2)
+
+
+# ---------------------------------------------------------------- DRAM invariants
+
+
+@given(st.lists(st.tuples(st.integers(0, 15), st.integers(0, 200)), min_size=1, max_size=30))
+@settings(max_examples=50)
+def test_bank_accesses_never_overlap(accesses):
+    timing = ddr2_800()
+    bank = Bank(timing)
+    bus = DataBus(timing)
+    now = 0
+    last_completion = 0
+    for row, delay in accesses:
+        now += delay
+        outcome = bank.service(
+            MemoryRequest(thread_id=0, address=0, channel=0, bank=0, row=row),
+            now,
+            bus,
+        )
+        assert outcome.start >= min(now, last_completion)
+        assert outcome.completion > outcome.start
+        assert outcome.start >= last_completion or outcome.start >= now
+        # Bank is exclusive: a new access starts only after the previous done.
+        assert outcome.start >= last_completion - timing.tBUS or last_completion == 0
+        last_completion = outcome.completion
+
+
+@given(st.lists(st.integers(0, 500), min_size=1, max_size=30))
+@settings(max_examples=50)
+def test_bus_transfers_never_overlap(earliest_times):
+    timing = ddr2_800()
+    bus = DataBus(timing)
+    intervals = []
+    for earliest in sorted(earliest_times):
+        start = bus.reserve(earliest)
+        intervals.append((start, start + timing.tBUS))
+    for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+        assert s2 >= e1
+
+
+@given(request_specs)
+@settings(max_examples=30, deadline=None)
+def test_controller_completes_everything_frfcfs(specs):
+    queue = EventQueue()
+    controller = MemoryController(queue, DramConfig(), FrFcfsScheduler(), 4)
+    done = []
+    requests = build_requests(specs)
+    for r in requests:
+        if r.is_read:
+            r.on_complete = lambda _r: done.append(1)
+        controller.enqueue(r)
+    queue.run()
+    reads = sum(1 for r in requests if r.is_read)
+    assert len(done) == reads
+    assert controller.outstanding() == 0
+    for r in requests:
+        assert r.completion_time is not None
+        assert r.completion_time > r.arrival_time
+
+
+@given(request_specs)
+@settings(max_examples=30, deadline=None)
+def test_controller_completes_everything_parbs(specs):
+    queue = EventQueue()
+    controller = MemoryController(queue, DramConfig(), ParBsScheduler(4), 4)
+    requests = build_requests(specs)
+    for r in requests:
+        controller.enqueue(r)
+    queue.run()
+    assert controller.outstanding() == 0
+    scheduler = controller.scheduler
+    assert scheduler.batcher.total_marked == 0

@@ -1,0 +1,124 @@
+"""Unit tests for within-batch thread ranking schemes."""
+
+import pytest
+
+from repro.core.ranking import (
+    MaxTotalRanking,
+    RandomRanking,
+    RoundRobinRanking,
+    TotalMaxRanking,
+    batch_loads,
+    make_ranking,
+)
+from repro.dram.request import MemoryRequest
+
+
+def req(thread, bank, channel=0):
+    return MemoryRequest(thread_id=thread, address=0, channel=channel, bank=bank, row=0)
+
+
+def spread(thread, banks):
+    """One request per bank for `thread`."""
+    return [req(thread, b) for b in banks]
+
+
+def pile(thread, bank, count):
+    """`count` requests to one bank."""
+    return [req(thread, bank) for _ in range(count)]
+
+
+def test_batch_loads_counts_max_and_total():
+    requests = spread(0, [0, 1, 2]) + pile(1, 0, 4)
+    max_load, total = batch_loads(requests)
+    assert max_load[0] == 1 and total[0] == 3
+    assert max_load[1] == 4 and total[1] == 4
+
+
+def test_batch_loads_distinguishes_channels():
+    requests = [req(0, bank=0, channel=0), req(0, bank=0, channel=1)]
+    max_load, _ = batch_loads(requests)
+    assert max_load[0] == 1  # same bank index, different channels
+
+
+def test_max_total_prefers_low_max_bank_load():
+    # Thread 0: 3 requests spread (max 1); thread 1: 2 requests piled (max 2).
+    requests = spread(0, [0, 1, 2]) + pile(1, 3, 2)
+    ranks = MaxTotalRanking().rank(requests)
+    assert ranks[0] < ranks[1]
+
+
+def test_max_total_tie_broken_by_total():
+    # Both max-bank-load 1; thread 1 has fewer total requests.
+    requests = spread(0, [0, 1, 2]) + spread(1, [3, 4])
+    ranks = MaxTotalRanking().rank(requests)
+    assert ranks[1] < ranks[0]
+
+
+def test_total_max_prefers_low_total_first():
+    # Thread 0: total 2 but piled (max 2); thread 1: total 3 spread (max 1).
+    requests = pile(0, 0, 2) + spread(1, [1, 2, 3])
+    assert TotalMaxRanking().rank(requests)[0] < TotalMaxRanking().rank(requests)[1]
+    # Max-Total ranks them the other way.
+    ranks = MaxTotalRanking().rank(requests)
+    assert ranks[1] < ranks[0]
+
+
+def test_threads_without_requests_rank_highest():
+    requests = pile(0, 0, 5)
+    ranks = MaxTotalRanking().rank(requests, threads=range(3))
+    assert ranks[1] < ranks[0]
+    assert ranks[2] < ranks[0]
+
+
+def test_rank_covers_requested_universe():
+    ranks = MaxTotalRanking().rank([], threads=range(4))
+    assert sorted(ranks) == [0, 1, 2, 3]
+    assert sorted(ranks.values()) == [0, 1, 2, 3]
+
+
+def test_random_ranking_is_seeded():
+    requests = spread(0, [0]) + spread(1, [1]) + spread(2, [2])
+    a = RandomRanking(seed=3).rank(requests)
+    b = RandomRanking(seed=3).rank(requests)
+    assert a == b
+
+
+def test_random_ranking_varies_across_batches():
+    requests = [req(t, t) for t in range(6)]
+    ranker = RandomRanking(seed=0)
+    outcomes = {tuple(sorted(ranker.rank(requests).items())) for _ in range(10)}
+    assert len(outcomes) > 1
+
+
+def test_round_robin_rotates_each_batch():
+    requests = [req(t, t) for t in range(3)]
+    ranker = RoundRobinRanking()
+    first = ranker.rank(requests)
+    second = ranker.rank(requests)
+    assert first != second
+    # Every thread is top-ranked once per cycle of three batches.
+    third = ranker.rank(requests)
+    tops = {min(r, key=r.get) for r in (first, second, third)}
+    assert tops == {0, 1, 2}
+
+
+def test_round_robin_empty():
+    assert RoundRobinRanking().rank([]) == {}
+
+
+def test_make_ranking_by_name():
+    assert isinstance(make_ranking("max-total"), MaxTotalRanking)
+    assert isinstance(make_ranking("total-max"), TotalMaxRanking)
+    assert isinstance(make_ranking("random"), RandomRanking)
+    assert isinstance(make_ranking("round-robin"), RoundRobinRanking)
+
+
+def test_make_ranking_unknown_name():
+    with pytest.raises(ValueError):
+        make_ranking("alphabetical")
+
+
+def test_ranks_are_dense_permutation():
+    requests = spread(0, [0, 1]) + pile(1, 2, 3) + spread(2, [3])
+    ranks = MaxTotalRanking().rank(requests)
+    assert sorted(ranks.values()) == [0, 1, 2]

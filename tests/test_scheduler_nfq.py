@@ -1,0 +1,126 @@
+"""Unit tests for the NFQ (fair queueing) scheduler."""
+
+import pytest
+
+from repro.config import DramConfig
+from repro.dram.controller import MemoryController
+from repro.dram.request import MemoryRequest
+from repro.events import EventQueue
+from repro.schedulers.nfq import NfqScheduler
+
+
+def setup_nfq(num_threads=4, weights=None, threshold=None):
+    queue = EventQueue()
+    scheduler = NfqScheduler(num_threads, weights=weights, inversion_threshold=threshold)
+    controller = MemoryController(queue, DramConfig(), scheduler, num_threads)
+    return queue, controller, scheduler
+
+
+def req(thread=0, bank=0, row=0):
+    return MemoryRequest(thread_id=thread, address=0, channel=0, bank=bank, row=row)
+
+
+def test_equal_shares_by_default():
+    _, _, s = setup_nfq(4)
+    assert s._share(0) == pytest.approx(0.25)
+
+
+def test_weighted_shares():
+    _, _, s = setup_nfq(2, weights={0: 3.0, 1: 1.0})
+    assert s._share(0) == pytest.approx(0.75)
+    assert s._share(1) == pytest.approx(0.25)
+
+
+def test_virtual_finish_advances_per_thread_bank():
+    queue, controller, s = setup_nfq()
+    a, b = req(thread=0, bank=0, row=1), req(thread=0, bank=0, row=1)
+    s.on_enqueue(a, now=0)
+    s.on_enqueue(b, now=0)
+    assert b.virtual_finish > a.virtual_finish
+
+
+def test_virtual_finish_independent_across_banks():
+    _, _, s = setup_nfq()
+    a, b = req(thread=0, bank=0, row=1), req(thread=0, bank=1, row=1)
+    s.on_enqueue(a, now=0)
+    s.on_enqueue(b, now=0)
+    assert a.virtual_finish == pytest.approx(b.virtual_finish)
+
+
+def test_row_hit_cost_is_cheaper():
+    _, controller, s = setup_nfq()
+    t = controller.timing
+    first = req(thread=0, bank=0, row=1)
+    hit = req(thread=0, bank=0, row=1)
+    s.on_enqueue(first, now=0)
+    s.on_enqueue(hit, now=0)
+    hit_cost = hit.virtual_finish - first.virtual_finish
+    assert hit_cost == pytest.approx(4 * (t.row_hit_latency + t.tBUS))
+
+
+def test_idle_thread_gets_fresh_deadline():
+    _, _, s = setup_nfq()
+    backlogged = [req(thread=0, bank=0, row=i) for i in range(5)]
+    for r in backlogged:
+        s.on_enqueue(r, now=0)
+    bursty = req(thread=1, bank=0, row=9)
+    s.on_enqueue(bursty, now=0)
+    # The idle thread's single request has an earlier deadline than the
+    # backlogged thread's tail — the "idleness problem".
+    assert bursty.virtual_finish < backlogged[-1].virtual_finish
+
+
+def test_select_earliest_virtual_finish():
+    _, controller, s = setup_nfq()
+    a = req(thread=0, bank=0, row=1)
+    b = req(thread=1, bank=0, row=2)
+    s.on_enqueue(a, now=0)
+    s.on_enqueue(b, now=0)
+    a.virtual_finish, b.virtual_finish = 100.0, 50.0
+    assert s.select([a, b], (0, 0), now=0) is b
+
+
+def test_row_hit_priority_inversion_within_threshold():
+    _, controller, s = setup_nfq(threshold=1000)
+    bank = controller.channels[0].banks[0]
+    bank.open_row = 7
+    s._row_open_row[(0, 0)] = 7
+    s._row_open_since[(0, 0)] = 0
+    hit = req(thread=0, bank=0, row=7)
+    other = req(thread=1, bank=0, row=2)
+    hit.virtual_finish, other.virtual_finish = 500.0, 10.0
+    # Within the threshold the row hit wins despite a later deadline.
+    assert s.select([hit, other], (0, 0), now=100) is hit
+
+
+def test_row_hit_inversion_expires_after_threshold():
+    _, controller, s = setup_nfq(threshold=1000)
+    bank = controller.channels[0].banks[0]
+    bank.open_row = 7
+    s._row_open_row[(0, 0)] = 7
+    s._row_open_since[(0, 0)] = 0
+    hit = req(thread=0, bank=0, row=7)
+    other = req(thread=1, bank=0, row=2)
+    hit.virtual_finish, other.virtual_finish = 500.0, 10.0
+    assert s.select([hit, other], (0, 0), now=2000) is other
+
+
+def test_on_issue_tracks_row_open_time():
+    queue, controller, s = setup_nfq()
+    r = req(thread=0, bank=0, row=7)
+    s.on_issue(r, now=123)
+    assert s._row_open_since[(0, 0)] == 123
+    # Servicing the same row again does not reset the open timestamp.
+    s.on_issue(req(thread=1, bank=0, row=7), now=200)
+    assert s._row_open_since[(0, 0)] == 123
+
+
+def test_end_to_end_all_requests_complete():
+    queue, controller, s = setup_nfq()
+    done = []
+    for i in range(12):
+        r = req(thread=i % 4, bank=i % 8, row=i)
+        r.on_complete = lambda _r: done.append(1)
+        controller.enqueue(r)
+    queue.run()
+    assert len(done) == 12

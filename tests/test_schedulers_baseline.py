@@ -1,0 +1,80 @@
+"""Unit tests for the FCFS and FR-FCFS baseline schedulers."""
+
+from repro.config import DramConfig
+from repro.dram.controller import MemoryController
+from repro.dram.request import MemoryRequest
+from repro.events import EventQueue
+from repro.schedulers.fcfs import FcfsScheduler
+from repro.schedulers.frfcfs import FrFcfsScheduler
+
+
+def setup_controller(scheduler):
+    queue = EventQueue()
+    controller = MemoryController(queue, DramConfig(), scheduler, 4)
+    return queue, controller
+
+
+def req(thread=0, bank=0, row=0, arrival=0):
+    r = MemoryRequest(thread_id=thread, address=0, channel=0, bank=bank, row=row)
+    r.arrival_time = arrival
+    return r
+
+
+def test_fcfs_picks_oldest():
+    _, controller = setup_controller(FcfsScheduler())
+    a = req(row=1, arrival=10)
+    b = req(row=2, arrival=5)
+    assert controller.scheduler.select([a, b], (0, 0), 20) is b
+
+
+def test_fcfs_ignores_row_hits():
+    queue, controller = setup_controller(FcfsScheduler())
+    bank = controller.channels[0].banks[0]
+    bank.open_row = 7
+    older_conflict = req(row=1, arrival=0)
+    younger_hit = req(row=7, arrival=5)
+    assert controller.scheduler.select([younger_hit, older_conflict], (0, 0), 10) is older_conflict
+
+
+def test_fcfs_breaks_ties_by_request_id():
+    _, controller = setup_controller(FcfsScheduler())
+    a = req(row=1, arrival=0)
+    b = req(row=2, arrival=0)
+    chosen = controller.scheduler.select([b, a], (0, 0), 0)
+    assert chosen is min((a, b), key=lambda r: r.request_id)
+
+
+def test_frfcfs_prefers_row_hit_over_older():
+    queue, controller = setup_controller(FrFcfsScheduler())
+    bank = controller.channels[0].banks[0]
+    bank.open_row = 7
+    older_conflict = req(row=1, arrival=0)
+    younger_hit = req(row=7, arrival=5)
+    assert controller.scheduler.select([older_conflict, younger_hit], (0, 0), 10) is younger_hit
+
+
+def test_frfcfs_falls_back_to_age_without_hits():
+    _, controller = setup_controller(FrFcfsScheduler())
+    a = req(row=1, arrival=3)
+    b = req(row=2, arrival=1)
+    assert controller.scheduler.select([a, b], (0, 0), 10) is b
+
+
+def test_frfcfs_oldest_hit_wins_among_hits():
+    queue, controller = setup_controller(FrFcfsScheduler())
+    controller.channels[0].banks[0].open_row = 7
+    hit_old = req(row=7, arrival=1)
+    hit_new = req(row=7, arrival=9)
+    assert controller.scheduler.select([hit_new, hit_old], (0, 0), 10) is hit_old
+
+
+def test_frfcfs_closed_row_means_no_hits():
+    _, controller = setup_controller(FrFcfsScheduler())
+    a = req(row=1, arrival=2)
+    b = req(row=2, arrival=4)
+    assert controller.scheduler.select([b, a], (0, 0), 10) is a
+
+
+def test_scheduler_repr_shows_name():
+    assert "FR-FCFS" in repr(FrFcfsScheduler())
+    assert "FCFS" in repr(FcfsScheduler())

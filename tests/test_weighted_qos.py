@@ -1,0 +1,56 @@
+"""End-to-end tests for weighted / prioritized QoS across schedulers."""
+
+import pytest
+
+from repro.sim.runner import ExperimentRunner
+
+INSTRUCTIONS = 40_000
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(instructions=INSTRUCTIONS, seed=0)
+
+
+def test_nfq_weights_shift_service(runner):
+    workload = ["lbm"] * 4
+    weights = {0: 8.0, 1: 1.0, 2: 1.0, 3: 1.0}
+    result = runner.run_workload(workload, "NFQ", weights=weights)
+    slowdowns = result.slowdowns()
+    assert slowdowns[0] < min(slowdowns[t] for t in (1, 2, 3))
+
+
+def test_stfm_weights_shift_service(runner):
+    workload = ["lbm"] * 4
+    weights = {0: 8.0, 1: 1.0, 2: 1.0, 3: 1.0}
+    result = runner.run_workload(workload, "STFM", weights=weights)
+    slowdowns = result.slowdowns()
+    assert slowdowns[0] < min(slowdowns[t] for t in (1, 2, 3))
+
+
+def test_parbs_priority_levels_shift_service(runner):
+    workload = ["lbm"] * 4
+    result = runner.run_workload(
+        workload, "PAR-BS", priorities={0: 1, 1: 4, 2: 4, 3: 4}
+    )
+    slowdowns = result.slowdowns()
+    assert slowdowns[0] < min(slowdowns[t] for t in (1, 2, 3))
+
+
+def test_equal_weights_behave_like_unweighted(runner):
+    workload = ["hmmer", "astar", "gromacs", "sjeng"]
+    weighted = runner.run_workload(
+        workload, "NFQ", weights={t: 2.0 for t in range(4)}
+    )
+    unweighted = runner.run_workload(workload, "NFQ")
+    # Equal weights normalize to equal shares: identical scheduling.
+    assert weighted.slowdowns() == pytest.approx(unweighted.slowdowns())
+
+
+def test_priority_based_marking_cadence_end_to_end(runner):
+    # A level-4 thread joins every 4th batch only; its throughput share
+    # must drop relative to running at level 1.
+    workload = ["milc", "milc", "milc", "milc"]
+    base = runner.run_workload(workload, "PAR-BS")
+    demoted = runner.run_workload(workload, "PAR-BS", priorities={3: 4})
+    assert demoted.slowdowns()[3] > base.slowdowns()[3]
