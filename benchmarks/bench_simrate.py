@@ -1,0 +1,88 @@
+"""Simulator-throughput microbenchmark (not a paper artifact).
+
+Measures raw simulation speed — processed events per second and simulated
+DRAM cycles per second — on a fixed 4-core workload (the paper's Case
+Study I mix) so hot-path optimizations can be compared across commits.
+Emits one JSON object so results are machine-diffable::
+
+    PYTHONPATH=src python benchmarks/bench_simrate.py
+    PYTHONPATH=src python benchmarks/bench_simrate.py --scheduler FR-FCFS \
+        --instructions 50000
+
+Also runs under pytest (``pytest benchmarks/bench_simrate.py``) as a
+smoke check that throughput is measurable and sane.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.config import baseline_system
+from repro.sim.factory import make_scheduler
+from repro.sim.runner import ExperimentRunner
+from repro.sim.system import System
+
+# Case Study I (Figure 5): one streaming thread, one high-BLP thread and
+# two mid-intensity threads — exercises every scheduler code path.
+WORKLOAD = ("libquantum", "mcf", "GemsFDTD", "xalancbmk")
+
+
+def measure(
+    scheduler: str = "PAR-BS",
+    instructions: int = 100_000,
+    seed: int = 0,
+) -> dict:
+    """Run the fixed workload once and report throughput numbers."""
+    config = baseline_system(len(WORKLOAD))
+    # cache_dir=None: measure simulation speed, not cache hits.
+    runner = ExperimentRunner(
+        config, instructions=instructions, seed=seed, cache_dir=None
+    )
+    traces = [runner.trace_for(b) for b in WORKLOAD]
+    system = System(
+        config, make_scheduler(scheduler, len(WORKLOAD)), traces, repeat=True
+    )
+    start = time.perf_counter()
+    sim_cycles = system.run()
+    wall = time.perf_counter() - start
+    events = system.events_processed
+    return {
+        "workload": list(WORKLOAD),
+        "scheduler": scheduler,
+        "instructions_per_thread": instructions,
+        "events": events,
+        "sim_cycles": sim_cycles,
+        "wall_seconds": wall,
+        "events_per_sec": events / wall if wall > 0 else 0.0,
+        "sim_cycles_per_sec": sim_cycles / wall if wall > 0 else 0.0,
+    }
+
+
+def test_simrate_smoke() -> None:
+    """Throughput is measurable and the run did real work."""
+    result = measure(instructions=30_000)
+    print()
+    print(json.dumps(result, indent=2))
+    assert result["events"] > 10_000
+    assert result["sim_cycles"] > 10_000
+    assert result["events_per_sec"] > 0
+    assert result["sim_cycles_per_sec"] > 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scheduler", default="PAR-BS")
+    parser.add_argument("--instructions", type=int, default=100_000)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    result = measure(args.scheduler, args.instructions, args.seed)
+    json.dump(result, sys.stdout, indent=2)
+    print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

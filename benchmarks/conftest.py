@@ -10,7 +10,9 @@ them to tighten statistics:
   4-core / 16 8-core / 12 16-core).
 
 Alone-run baselines are cached per core count across all benchmarks in the
-session.
+session, and persistently on disk across sessions (``REPRO_CACHE_DIR``;
+``REPRO_CACHE=0`` disables).  Set ``REPRO_JOBS=N`` to fan independent
+simulations out over N worker processes.
 """
 
 from __future__ import annotations
@@ -20,6 +22,8 @@ import os
 import pytest
 
 from repro.config import baseline_system
+from repro.sim.diskcache import GLOBAL_STATS
+from repro.sim.pool import default_jobs
 from repro.sim.runner import ExperimentRunner
 
 
@@ -36,17 +40,33 @@ def bench_workloads(num_cores: int) -> int:
 
 @pytest.fixture(scope="session")
 def runner4() -> ExperimentRunner:
-    return ExperimentRunner(baseline_system(4), instructions=bench_instructions())
+    return ExperimentRunner(
+        baseline_system(4), instructions=bench_instructions(), jobs=default_jobs()
+    )
 
 
 @pytest.fixture(scope="session")
 def runner8() -> ExperimentRunner:
-    return ExperimentRunner(baseline_system(8), instructions=bench_instructions())
+    return ExperimentRunner(
+        baseline_system(8), instructions=bench_instructions(), jobs=default_jobs()
+    )
 
 
 @pytest.fixture(scope="session")
 def runner16() -> ExperimentRunner:
-    return ExperimentRunner(baseline_system(16), instructions=bench_instructions())
+    return ExperimentRunner(
+        baseline_system(16), instructions=bench_instructions(), jobs=default_jobs()
+    )
+
+
+def pytest_terminal_summary(terminalreporter) -> None:
+    """Report how much work the persistent simulation cache saved."""
+    stats = dict(GLOBAL_STATS)
+    if any(stats.values()):
+        terminalreporter.write_line(
+            "repro disk cache: {hits} hits, {misses} misses, "
+            "{writes} writes".format(**stats)
+        )
 
 
 def run_once(benchmark, func):

@@ -15,6 +15,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from .config import baseline_system
@@ -64,6 +65,14 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="instructions per thread (default: library default / REPRO_SCALE)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for independent simulations "
+        "(default: REPRO_JOBS or 1)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list all experiments")
@@ -91,6 +100,11 @@ def _build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     instructions = args.instructions
+    if args.jobs is not None:
+        # Every runner (including ones constructed deep inside experiment
+        # helpers) resolves its default worker count from REPRO_JOBS, so
+        # exporting it here reaches all subcommands uniformly.
+        os.environ["REPRO_JOBS"] = str(max(1, args.jobs))
 
     if args.command == "list":
         print(_EXPERIMENTS)

@@ -86,9 +86,9 @@ class Batcher:
         return self.priorities.get(thread_id, 1)
 
     # -- marking helpers ------------------------------------------------------
-    def _pending_reads(self) -> Iterable[tuple[tuple[int, int], list[MemoryRequest]]]:
+    def _pending_reads(self) -> Iterable[tuple[tuple[int, int], Iterable[MemoryRequest]]]:
         assert self.controller is not None
-        return self.controller._reads.items()
+        return self.controller.buffered_reads_by_bank()
 
     def _thread_markable(self, thread_id: int) -> bool:
         """Priority-based marking: level X threads join every X-th batch."""

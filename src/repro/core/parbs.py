@@ -139,11 +139,7 @@ class ParBsScheduler(Scheduler):
         # ranking registers count all buffered requests, so the ranking is
         # computed over every thread's full backlog; threads with little or
         # no backlog rank highest (shortest job first).
-        backlog = [
-            r
-            for requests in self.controller._reads.values()
-            for r in requests
-        ]
+        backlog = list(self.controller.buffered_reads())
         self._ranks = self.ranking.rank(backlog, threads=range(self.num_threads))
 
     # -- lifecycle hooks ---------------------------------------------------------
@@ -172,4 +168,37 @@ class ParBsScheduler(Scheduler):
     def select(
         self, candidates: Sequence[MemoryRequest], bank: BankKey, now: int
     ) -> MemoryRequest:
-        return min(candidates, key=self._key)
+        # Arbitration runs on every bank wake: resolve the bank's open row
+        # and the rank table once per call instead of re-deriving row-hit
+        # status and chasing attributes for every candidate (see _key for
+        # the rule order being encoded).
+        open_row = self.controller.channels[bank[0]].banks[bank[1]].open_row
+        if self.within_batch == "par":
+            ranks = self._ranks
+            unranked = UNRANKED
+            return min(
+                candidates,
+                key=lambda r: (
+                    not r.marked,
+                    r.priority_level,
+                    r.row != open_row,
+                    ranks.get(r.thread_id, unranked),
+                    r.arrival_time,
+                    r.request_id,
+                ),
+            )
+        if self.within_batch == "frfcfs":
+            return min(
+                candidates,
+                key=lambda r: (
+                    not r.marked,
+                    r.priority_level,
+                    r.row != open_row,
+                    r.arrival_time,
+                    r.request_id,
+                ),
+            )
+        return min(
+            candidates,
+            key=lambda r: (not r.marked, r.priority_level, r.arrival_time, r.request_id),
+        )

@@ -27,7 +27,6 @@ slowdown, AST/req).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Callable, Protocol
 
@@ -111,6 +110,10 @@ class Core:
         self._dispatched = 0
         self._trace_pos = 0
         self._base_instructions = 0  # instructions from completed trace passes
+        # Cached per-pass constants: the trace is immutable, and both values
+        # are read on every iteration of the analytical advance loop.
+        self._trace_len = len(trace)
+        self._trace_end_index = trace.total_instructions
         self._next_mem_index = self._mem_index(0)
 
         self._pending: list[_PendingLoad] = []  # incomplete loads, program order
@@ -136,7 +139,7 @@ class Core:
     def _mem_index(self, pos: int) -> int | None:
         """Global instruction index of the ``pos``-th memory instruction in
         the current trace pass, or None past the end."""
-        if pos >= len(self.trace):
+        if pos >= self._trace_len:
             return None
         # Cache cumulative indices on the trace object (shared across cores).
         cum = getattr(self.trace, "_cum_index", None)
@@ -148,10 +151,6 @@ class Core:
                 cum.append(acc)
             self.trace._cum_index = cum  # type: ignore[attr-defined]
         return self._base_instructions + cum[pos]
-
-    @property
-    def _trace_end_index(self) -> int:
-        return self._base_instructions + self.trace.total_instructions
 
     @property
     def instructions_retired(self) -> int:
@@ -182,22 +181,26 @@ class Core:
 
     # -- the analytical engine -----------------------------------------------------
     def _advance(self, now: int) -> None:
-        """Bring retirement/dispatch pointers forward to time ``now``."""
+        """Bring retirement/dispatch pointers forward to time ``now``.
+
+        This loop is the single hottest path of the whole simulator, so it
+        avoids attribute chasing and float math: loop-invariant parameters
+        live in locals, and the ceil divisions use integer arithmetic.
+        """
         width = self.config.width
         window = self.config.window_size
+        mshrs = self.config.mshrs
+        entries = self.trace.entries
+        trace_len = self._trace_len
         while self._t < now:
-            r_limit = (
-                self._pending[0].index - 1
-                if self._pending
-                else self._trace_end_index
-            )
-            next_entry = (
-                self.trace[self._trace_pos] if self._trace_pos < len(self.trace) else None
-            )
+            pending = self._pending
+            r_limit = pending[0].index - 1 if pending else self._trace_end_index
+            trace_pos = self._trace_pos
+            next_entry = entries[trace_pos] if trace_pos < trace_len else None
             dispatch_blocked = (
                 next_entry is not None
                 and not next_entry.is_write
-                and self.mshr_in_use >= self.config.mshrs
+                and self.mshr_in_use >= mshrs
             )
             if next_entry is None:
                 d_stop = self._trace_end_index
@@ -206,21 +209,26 @@ class Core:
             else:
                 d_stop = self._next_mem_index
 
-            dt_max = now - self._t
-            steps = [dt_max]
-            if self._retired < r_limit:
-                steps.append(math.ceil((r_limit - self._retired) / width))
-            if self._dispatched < d_stop:
-                steps.append(math.ceil((d_stop - self._dispatched) / width))
-            dt = min(steps)
-            dt = max(1, min(dt, dt_max))
+            retired0 = self._retired
+            dispatched0 = self._dispatched
+            dt = now - self._t
+            if retired0 < r_limit:
+                step = -((retired0 - r_limit) // width)  # ceil-div
+                if step < dt:
+                    dt = step
+            if dispatched0 < d_stop:
+                step = -((dispatched0 - d_stop) // width)
+                if step < dt:
+                    dt = step
+            if dt < 1:
+                dt = 1
 
-            retired_raw = min(r_limit, self._retired + width * dt)
-            dispatched = min(d_stop, retired_raw + window, self._dispatched + width * dt)
-            retired = min(retired_raw, dispatched)
+            retired_raw = min(r_limit, retired0 + width * dt)
+            dispatched = min(d_stop, retired_raw + window, dispatched0 + width * dt)
+            retired = retired_raw if retired_raw < dispatched else dispatched
 
             # Stall accounting: commit blocked by an incomplete DRAM load.
-            if self._pending and self._retired >= r_limit:
+            if pending and retired0 >= r_limit:
                 self.stall_cycles += dt
 
             self._t += dt
@@ -230,18 +238,23 @@ class Core:
             if (
                 next_entry is not None
                 and not dispatch_blocked
-                and self._dispatched >= self._next_mem_index
+                and dispatched >= self._next_mem_index
             ):
                 self._issue(next_entry)
 
-            self._maybe_complete_pass()
+            if (
+                self._trace_pos >= trace_len
+                and not self._pending
+                and self._retired >= self._trace_end_index
+            ):
+                self._complete_pass()
             if self.finished and not self.repeat:
                 break
         self._maybe_complete_pass()
 
     def _maybe_complete_pass(self) -> None:
         if (
-            self._trace_pos >= len(self.trace)
+            self._trace_pos >= self._trace_len
             and not self._pending
             and self._retired >= self._trace_end_index
         ):
@@ -256,7 +269,7 @@ class Core:
         and it blocks commit like any other outstanding load).
         """
         index = self._next_mem_index
-        gpos = self._pass_count * len(self.trace) + self._trace_pos
+        gpos = self._pass_count * self._trace_len + self._trace_pos
         self._trace_pos += 1
         self._next_mem_index = self._mem_index(self._trace_pos)
 
@@ -274,7 +287,7 @@ class Core:
             self.stores_issued += 1
 
         if entry.depends_on is not None:
-            parent_gpos = self._pass_count * len(self.trace) + entry.depends_on
+            parent_gpos = self._pass_count * self._trace_len + entry.depends_on
             if parent_gpos in self._incomplete_gpos:
                 self._dep_waiters.setdefault(parent_gpos, []).append(
                     (entry.address, entry.is_write, load)
@@ -306,8 +319,11 @@ class Core:
             )
             if self.on_finished is not None:
                 self.on_finished(self)
-        if self.repeat and len(self.trace) > 0:
+        if self.repeat and self._trace_len > 0:
             self._base_instructions = self._trace_end_index
+            self._trace_end_index = (
+                self._base_instructions + self.trace.total_instructions
+            )
             self._pass_count += 1
             self._trace_pos = 0
             self._next_mem_index = self._mem_index(0)
@@ -321,15 +337,16 @@ class Core:
         r_limit = (
             self._pending[0].index - 1 if self._pending else self._trace_end_index
         )
+        trace_pos = self._trace_pos
         next_entry = (
-            self.trace[self._trace_pos] if self._trace_pos < len(self.trace) else None
+            self.trace.entries[trace_pos] if trace_pos < self._trace_len else None
         )
         if next_entry is None:
             # Drain: wake when the last instruction could retire.
             if self._retired >= self._trace_end_index or self._pending:
                 return None
             needed = self._trace_end_index - self._retired
-            return self._t + math.ceil(needed / width)
+            return self._t - (-needed // width)
         if not next_entry.is_write and self.mshr_in_use >= self.config.mshrs:
             return None  # blocked on MSHRs; a completion will wake us
         target = self._next_mem_index
@@ -339,7 +356,7 @@ class Core:
         needed = max(target - self._dispatched, target - window - self._retired)
         if needed <= 0:
             return self._t  # should have been issued already (defensive)
-        return self._t + math.ceil(needed / width)
+        return self._t - (-needed // width)
 
     def _reschedule(self) -> None:
         if self.finished and not self.repeat:

@@ -49,6 +49,10 @@ class Trace:
     def __init__(self, entries: Iterable[TraceEntry], name: str = "trace") -> None:
         self.entries: tuple[TraceEntry, ...] = tuple(entries)
         self.name = name
+        # Entries are immutable, so the instruction count is fixed; it is
+        # read on the simulator's hot path (every core wake-up) and must
+        # not be recomputed by summing the whole trace each time.
+        self._total_instructions = sum(e.gap + 1 for e in self.entries)
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -62,7 +66,7 @@ class Trace:
     @property
     def total_instructions(self) -> int:
         """Instructions in the trace (memory instructions included)."""
-        return sum(e.gap + 1 for e in self.entries)
+        return self._total_instructions
 
     @property
     def memory_accesses(self) -> int:

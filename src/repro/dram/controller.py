@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
 
 from ..events import EventQueue
 from .channel import Channel
@@ -107,10 +107,16 @@ class MemoryController:
         self._writes: dict[tuple[int, int], list[MemoryRequest]] = defaultdict(list)
         self._write_occupancy = 0
         self._draining_writes = False
+        # Buffered (not yet issued) reads per thread: kept incrementally so
+        # ``pending_reads(thread_id)`` — called by batchers on the enqueue
+        # path — is O(1) instead of a scan over the whole request buffer.
+        self._reads_per_thread: dict[int, int] = defaultdict(int)
         # A wake event is pending per bank at this time (dedup).
         self._bank_wake: dict[tuple[int, int], int] = {}
 
-        self.thread_stats: dict[int, ThreadMemStats] = defaultdict(ThreadMemStats)
+        # Stats appear here only for threads that actually issued requests;
+        # use :meth:`stats_for` for lookups that must tolerate absent threads.
+        self.thread_stats: dict[int, ThreadMemStats] = {}
         self.total_reads = 0
         self.total_writes = 0
         self.read_occupancy = 0
@@ -120,27 +126,56 @@ class MemoryController:
 
     # ------------------------------------------------------------------ API
     def pending_reads(self, thread_id: int | None = None) -> int:
-        """Number of read requests waiting or in service."""
+        """Number of buffered (not yet issued) read requests."""
         if thread_id is None:
             return self.read_occupancy
-        return sum(
-            1
-            for reqs in self._reads.values()
-            for r in reqs
-            if r.thread_id == thread_id
-        )
+        return self._reads_per_thread.get(thread_id, 0)
+
+    def stats_for(self, thread_id: int) -> ThreadMemStats:
+        """Statistics for ``thread_id``; an explicit zeroed record when the
+        thread never issued a memory request (nothing is inserted)."""
+        stats = self.thread_stats.get(thread_id)
+        return stats if stats is not None else ThreadMemStats()
+
+    def _stats(self, thread_id: int) -> ThreadMemStats:
+        stats = self.thread_stats.get(thread_id)
+        if stats is None:
+            stats = self.thread_stats[thread_id] = ThreadMemStats()
+        return stats
+
+    def buffered_reads(self) -> Iterator[MemoryRequest]:
+        """Iterate over every buffered (not yet issued) read request."""
+        for requests in self._reads.values():
+            yield from requests
+
+    def buffered_reads_by_bank(
+        self,
+    ) -> Iterable[tuple[tuple[int, int], Sequence[MemoryRequest]]]:
+        """Buffered reads grouped by (channel, bank); empty banks skipped."""
+        return ((key, reqs) for key, reqs in self._reads.items() if reqs)
+
+    def buffered_reads_for_bank(
+        self, key: tuple[int, int]
+    ) -> Sequence[MemoryRequest]:
+        """Buffered reads waiting on one (channel, bank)."""
+        return self._reads.get(key) or ()
 
     def enqueue(self, request: MemoryRequest) -> None:
         """Accept a new request from a core/cache."""
         request.arrival_time = self.queue.now
         key = (request.channel, request.bank)
         if request.is_read:
-            self._reads[key].append(request)
+            bucket = self._reads[key]
+            request.buf_pos = len(bucket)
+            bucket.append(request)
+            self._reads_per_thread[request.thread_id] += 1
             self.read_occupancy += 1
             self.peak_read_occupancy = max(self.peak_read_occupancy, self.read_occupancy)
             self.total_reads += 1
         else:
-            self._writes[key].append(request)
+            bucket = self._writes[key]
+            request.buf_pos = len(bucket)
+            bucket.append(request)
             self._write_occupancy += 1
             self.total_writes += 1
             if self._write_occupancy > self.config.write_drain_high:
@@ -205,14 +240,29 @@ class MemoryController:
         # Writes are drained oldest-first; they are latency-insensitive.
         return min(writes, key=lambda r: (r.arrival_time, r.request_id))
 
+    @staticmethod
+    def _remove_buffered(bucket: list[MemoryRequest], request: MemoryRequest) -> None:
+        """Swap-pop ``request`` out of its buffer bucket in O(1).
+
+        Bucket order is not meaningful — every consumer (scheduler selects,
+        write drain, batch marking) orders requests by explicit sort keys.
+        """
+        pos = request.buf_pos
+        last = bucket.pop()
+        if last is not request:
+            bucket[pos] = last
+            last.buf_pos = pos
+        request.buf_pos = -1
+
     def _issue(self, request: MemoryRequest, key: tuple[int, int], now: int) -> None:
         channel = self.channels[key[0]]
         bank = channel.banks[key[1]]
         if request.is_read:
-            self._reads[key].remove(request)
+            self._remove_buffered(self._reads[key], request)
+            self._reads_per_thread[request.thread_id] -= 1
             self.read_occupancy -= 1
         else:
-            self._writes[key].remove(request)
+            self._remove_buffered(self._writes[key], request)
             self._write_occupancy -= 1
             if self._write_occupancy <= self.config.write_drain_low:
                 self._draining_writes = False
@@ -220,7 +270,7 @@ class MemoryController:
         outcome = bank.service(request, now, channel.bus)
         request.service_outcome = outcome
 
-        stats = self.thread_stats[request.thread_id]
+        stats = self._stats(request.thread_id)
         if request.is_read:
             # BLP (paper §7) is defined over the thread's demand requests.
             stats.service_started(now)
@@ -239,7 +289,7 @@ class MemoryController:
     def _complete(self, request: MemoryRequest) -> None:
         now = self.queue.now
         request.completion_time = now
-        stats = self.thread_stats[request.thread_id]
+        stats = self._stats(request.thread_id)
         if request.is_read:
             stats.service_finished(now)
         latency = request.latency + self.timing.overhead

@@ -50,6 +50,10 @@ class MemoryRequest:
     # Completion callback (set by the core/cache that generated the request).
     on_complete: Callable[["MemoryRequest"], None] | None = None
 
+    # Position inside the controller's per-bank buffer (maintained by the
+    # controller so issued requests can be removed by swap-pop in O(1)).
+    buf_pos: int = field(default=-1, compare=False)
+
     # Filled by the controller at issue time with the bank's AccessOutcome;
     # lets schedulers (e.g. STFM) observe service durations.
     service_outcome: object | None = None

@@ -94,12 +94,16 @@ def run_aggregate(
     instructions: int | None = None,
     include_sample_mixes: bool = False,
     seed: int = 42,
+    jobs: int | None = None,
 ) -> AggregateResult:
     """Run the paper's aggregate comparison for one system size.
 
     ``include_sample_mixes`` additionally prepends the named sample mixes
     shown on the figure's x-axis (Figure 8's ten mixes for 4 cores,
-    Figure 10's five for 16 cores).
+    Figure 10's five for 16 cores).  All (mix × scheduler) simulations
+    are independent, so the whole aggregate fans out over ``jobs``
+    worker processes (or ``REPRO_JOBS``) at once — the widest
+    parallelism available in the suite.
     """
     if count is None:
         count = default_workload_count(num_cores)
@@ -114,11 +118,11 @@ def run_aggregate(
             mixes.extend([list(m) for m in SIXTEEN_CORE_MIXES.values()])
     mixes.extend(random_mixes(num_cores, count=count, seed=seed))
 
+    specs = [(mix, scheduler, {}) for mix in mixes for scheduler in SCHEDULERS]
+    results = runner.run_many(specs, jobs=jobs)
     per_mix: dict[str, list[WorkloadResult]] = {s: [] for s in SCHEDULERS}
-    for mix in mixes:
-        results = runner.compare_schedulers(mix, SCHEDULERS)
-        for scheduler, result in results.items():
-            per_mix[scheduler].append(result)
+    for (_mix, scheduler, _kwargs), result in zip(specs, results):
+        per_mix[scheduler].append(result)
     return AggregateResult(num_cores=num_cores, mixes=mixes, per_mix=per_mix)
 
 

@@ -28,7 +28,11 @@ class FrFcfsScheduler(Scheduler):
     def select(
         self, candidates: Sequence[MemoryRequest], bank: BankKey, now: int
     ) -> MemoryRequest:
+        # Resolve the open row once per arbitration instead of re-deriving
+        # row-hit status per candidate (rows are ints, so ``row != None``
+        # correctly reads as a miss when the bank is precharged).
+        open_row = self.controller.channels[bank[0]].banks[bank[1]].open_row
         return min(
             candidates,
-            key=lambda r: (not self._row_hit(r), r.arrival_time, r.request_id),
+            key=lambda r: (r.row != open_row, r.arrival_time, r.request_id),
         )

@@ -99,7 +99,14 @@ class NfqScheduler(Scheduler):
             # for at most tRAS.  This is what limits the row-buffer locality
             # NFQ can exploit (paper Section 8.1.3).
             threshold = self.controller.timing.tRAS
-        hits = [r for r in candidates if self._row_hit(r)]
+        # Row-hit status is derived from the bank's open row, resolved once
+        # per arbitration rather than per candidate.
+        open_row = self.controller.channels[bank[0]].banks[bank[1]].open_row
+        hits = (
+            [r for r in candidates if r.row == open_row]
+            if open_row is not None
+            else []
+        )
         if hits:
             open_since = self._row_open_since.get(bank, now)
             if now - open_since < threshold:

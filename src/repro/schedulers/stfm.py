@@ -68,6 +68,11 @@ class StfmScheduler(Scheduler):
             lambda: defaultdict(int)
         )
         self._last_decay = 0
+        # Slowdown table memoized per cycle: ``select`` runs once per bank
+        # wake and recomputing every thread's slowdown each time is the
+        # policy's main arbitration cost.  Any state change invalidates it.
+        self._slowdown_cache: dict[int, float] | None = None
+        self._slowdown_cache_time = -1
 
     # -- bookkeeping -----------------------------------------------------------
     def _advance(self, thread_id: int, now: int) -> None:
@@ -94,6 +99,7 @@ class StfmScheduler(Scheduler):
         self._outstanding[tid] += 1
         self._banks_busy[tid][(request.channel, request.bank)] += 1
         self._decay(now)
+        self._slowdown_cache = None
 
     def on_issue(self, request: MemoryRequest, now: int) -> None:
         if not request.is_read:
@@ -102,10 +108,12 @@ class StfmScheduler(Scheduler):
         duration = outcome.bank_free - outcome.start if outcome is not None else 0
         key: BankKey = (request.channel, request.bank)
         # Charge interference to every *other* thread waiting on this bank.
-        waiting = self.controller._reads.get(key) or ()
+        waiting = self.controller.buffered_reads_for_bank(key)
         victims = {r.thread_id for r in waiting if r.thread_id != request.thread_id}
         for tid in victims:
             self._t_interference[tid] += duration / self._bank_parallelism(tid)
+        if victims:
+            self._slowdown_cache = None
 
     def on_complete(self, request: MemoryRequest, now: int) -> None:
         if not request.is_read:
@@ -117,6 +125,7 @@ class StfmScheduler(Scheduler):
         key: BankKey = (request.channel, request.bank)
         bank_counts[key] -= 1
         self._decay(now)
+        self._slowdown_cache = None
 
     # -- slowdown estimation -----------------------------------------------------
     def slowdown(self, thread_id: int, now: int | None = None) -> float:
@@ -133,14 +142,24 @@ class StfmScheduler(Scheduler):
         return 1.0 + (slow - 1.0) * weight
 
     # -- arbitration -----------------------------------------------------------
-    def select(
-        self, candidates: Sequence[MemoryRequest], bank: BankKey, now: int
-    ) -> MemoryRequest:
+    def _slowdowns(self, now: int) -> dict[int, float]:
+        """All active threads' slowdowns, memoized for the current cycle."""
+        if self._slowdown_cache is not None and self._slowdown_cache_time == now:
+            return self._slowdown_cache
         slowdowns = {
             tid: self.slowdown(tid, now)
             for tid in range(self.num_threads)
             if self._t_shared[tid] > 0 or self._outstanding[tid] > 0
         }
+        self._slowdown_cache = slowdowns
+        self._slowdown_cache_time = now
+        return slowdowns
+
+    def select(
+        self, candidates: Sequence[MemoryRequest], bank: BankKey, now: int
+    ) -> MemoryRequest:
+        slowdowns = self._slowdowns(now)
+        open_row = self.controller.channels[bank[0]].banks[bank[1]].open_row
         if slowdowns:
             worst = max(slowdowns.values())
             best = min(slowdowns.values())
@@ -150,7 +169,7 @@ class StfmScheduler(Scheduler):
                     candidates,
                     key=lambda r: (
                         r.thread_id != slowest,
-                        not self._row_hit(r),
+                        r.row != open_row,
                         r.arrival_time,
                         r.request_id,
                     ),
@@ -158,5 +177,5 @@ class StfmScheduler(Scheduler):
         # Fair enough: maximize throughput with FR-FCFS.
         return min(
             candidates,
-            key=lambda r: (not self._row_hit(r), r.arrival_time, r.request_id),
+            key=lambda r: (r.row != open_row, r.arrival_time, r.request_id),
         )

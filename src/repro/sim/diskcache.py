@@ -1,0 +1,153 @@
+"""Persistent on-disk cache for deterministic simulation artifacts.
+
+Alone-run baselines and generated traces are pure functions of their
+inputs (benchmark profile, system configuration, seed, instruction
+count), so they can be cached across processes and across repeated suite
+runs.  Entries are keyed by a SHA-256 content hash of a canonical JSON
+encoding of those inputs; values are stored as JSON files, written
+atomically (temp file + ``os.replace``) so concurrent workers can share
+one cache directory without locking — the worst case under a write race
+is one redundant recomputation, never a torn file.
+
+Environment knobs:
+
+* ``REPRO_CACHE_DIR`` — cache directory (default
+  ``$XDG_CACHE_HOME/repro-parbs`` or ``~/.cache/repro-parbs``);
+* ``REPRO_CACHE=0`` — disable the on-disk cache entirely.
+
+``clear_cache()`` (or simply deleting the directory) resets it; the
+directory layout is ``<root>/<kind>/<hash>.json``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+import tempfile
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+
+__all__ = [
+    "DiskCache",
+    "GLOBAL_STATS",
+    "cache_enabled",
+    "clear_cache",
+    "content_key",
+    "default_cache_dir",
+]
+
+logger = logging.getLogger(__name__)
+
+# Bump when simulator semantics change in a way that alters cached
+# artifacts (trace generation, timing model, metric definitions).
+SIM_FINGERPRINT = "parbs-sim-v1"
+
+# Aggregate counters across every DiskCache instance in this process —
+# the observable "did the suite hit the cache?" signal.
+GLOBAL_STATS = {"hits": 0, "misses": 0, "writes": 0}
+
+
+def default_cache_dir() -> Path:
+    """Resolve the cache root from the environment."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "repro-parbs"
+
+
+def cache_enabled() -> bool:
+    """Whether the on-disk cache is enabled (``REPRO_CACHE`` env switch)."""
+    return os.environ.get("REPRO_CACHE", "1").lower() not in ("0", "false", "no", "off")
+
+
+def _jsonify(obj):
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return asdict(obj)
+    raise TypeError(f"cannot canonicalize {type(obj).__name__} for cache key")
+
+
+def content_key(payload) -> str:
+    """SHA-256 of the canonical JSON encoding of ``payload``.
+
+    Dataclasses (e.g. :class:`~repro.config.SystemConfig`) are flattened
+    via ``asdict`` so structurally equal configurations hash equally.
+    """
+    canonical = json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), default=_jsonify
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+class DiskCache:
+    """A content-addressed JSON store with hit/miss accounting."""
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    def _path(self, kind: str, key: str) -> Path:
+        return self.root / kind / f"{key}.json"
+
+    def get(self, kind: str, key: str):
+        """Cached value for ``(kind, key)``, or ``None`` on a miss."""
+        path = self._path(kind, key)
+        try:
+            with path.open() as fh:
+                value = json.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            GLOBAL_STATS["misses"] += 1
+            return None
+        except (OSError, json.JSONDecodeError):
+            # Corrupt or unreadable entry: drop it and recompute.
+            path.unlink(missing_ok=True)
+            self.misses += 1
+            GLOBAL_STATS["misses"] += 1
+            return None
+        self.hits += 1
+        GLOBAL_STATS["hits"] += 1
+        logger.info("cache hit: %s/%s", kind, key[:12])
+        return value
+
+    def put(self, kind: str, key: str, value) -> None:
+        """Store ``value`` atomically under ``(kind, key)``."""
+        path = self._path(kind, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(value, fh, separators=(",", ":"))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+        GLOBAL_STATS["writes"] += 1
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/write counters for this cache instance."""
+        return {"hits": self.hits, "misses": self.misses, "writes": self.writes}
+
+    def clear(self) -> int:
+        """Delete every cache entry under this root; returns the count."""
+        removed = 0
+        if not self.root.exists():
+            return 0
+        for path in self.root.rglob("*.json"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+
+def clear_cache(root: str | Path | None = None) -> int:
+    """Convenience wrapper: clear the (default) cache directory."""
+    return DiskCache(root).clear()

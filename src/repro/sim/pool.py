@@ -1,0 +1,124 @@
+"""Process-parallel experiment engine.
+
+Every paper figure is an aggregate over *independent* (workload ×
+scheduler) simulations, so experiment throughput scales with cores: this
+module fans :class:`SimJob` descriptions out over a
+:class:`~concurrent.futures.ProcessPoolExecutor` and merges results
+deterministically.
+
+Determinism contract: a job description pins everything a simulation
+depends on (system configuration, workload, scheduler name + kwargs,
+seed, instruction count), every simulation is a pure function of its job
+(seeded RNGs, no wall-clock or ``hash()`` dependence), and results are
+returned in submission order — so parallel output is bit-identical to
+serial output regardless of worker count or completion order.
+
+Worker processes keep one :class:`~repro.sim.runner.ExperimentRunner`
+per distinct (config, instructions, seed, cache_dir) so trace and
+alone-run caches are reused across the jobs a worker services; the
+persistent on-disk cache (:mod:`repro.sim.diskcache`) shares alone-run
+baselines and generated traces across workers and across repeated runs.
+
+The worker count comes from ``--jobs N`` on the CLI, the ``REPRO_JOBS``
+environment variable, or the ``jobs=`` argument; the default of 1 keeps
+the serial path byte-for-byte unchanged.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Sequence
+
+from ..config import SystemConfig
+from .diskcache import content_key
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..metrics.summary import WorkloadResult
+    from .runner import ExperimentRunner
+
+__all__ = ["SimJob", "default_jobs", "run_job", "run_jobs"]
+
+logger = logging.getLogger(__name__)
+
+
+def default_jobs() -> int:
+    """Worker count from ``REPRO_JOBS`` (default 1 = serial)."""
+    env = os.environ.get("REPRO_JOBS")
+    if env:
+        return max(1, int(env))
+    return 1
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """A picklable description of one independent simulation.
+
+    ``scheduler`` is a factory name (see :mod:`repro.sim.factory`), not a
+    scheduler instance, so the job can cross a process boundary and the
+    worker builds fresh, unshared scheduler state.
+    """
+
+    config: SystemConfig
+    workload: tuple[str, ...]
+    scheduler: str
+    scheduler_kwargs: dict[str, Any] = field(default_factory=dict)
+    instructions: int = 0
+    seed: int = 0
+    cache_dir: str | None = None  # None disables the on-disk cache
+
+    def runner_key(self) -> str:
+        """Content hash of everything that parameterizes the runner."""
+        return content_key(
+            [self.config, self.instructions, self.seed, self.cache_dir]
+        )
+
+
+# One runner per distinct job parameterization, per worker process:
+# reusing a runner lets a worker share generated traces and alone-run
+# baselines across all the jobs it services.
+_WORKER_RUNNERS: dict[str, "ExperimentRunner"] = {}
+
+
+def _runner_for(job: SimJob) -> "ExperimentRunner":
+    from .runner import ExperimentRunner
+
+    key = job.runner_key()
+    runner = _WORKER_RUNNERS.get(key)
+    if runner is None:
+        runner = ExperimentRunner(
+            job.config,
+            instructions=job.instructions or None,
+            seed=job.seed,
+            jobs=1,  # workers never fan out further
+            cache_dir=job.cache_dir,
+        )
+        _WORKER_RUNNERS[key] = runner
+    return runner
+
+
+def run_job(job: SimJob) -> "WorkloadResult":
+    """Execute one job (also the in-process serial fallback path)."""
+    runner = _runner_for(job)
+    return runner.run_workload(
+        list(job.workload), job.scheduler, **job.scheduler_kwargs
+    )
+
+
+def run_jobs(jobs: Sequence[SimJob], workers: int | None = None) -> list["WorkloadResult"]:
+    """Run ``jobs``, fanning out over ``workers`` processes.
+
+    Results are returned in submission order.  With ``workers <= 1`` (or
+    a single job) everything runs in-process, bypassing the pool.
+    """
+    jobs = list(jobs)
+    if workers is None:
+        workers = default_jobs()
+    if workers <= 1 or len(jobs) <= 1:
+        return [run_job(job) for job in jobs]
+    workers = min(workers, len(jobs))
+    logger.info("running %d simulations over %d worker processes", len(jobs), workers)
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(run_job, jobs, chunksize=1))

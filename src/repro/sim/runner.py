@@ -7,26 +7,41 @@ calibrated traces, caches alone-run baselines per (benchmark, system
 configuration), and packages results as
 :class:`~repro.metrics.summary.WorkloadResult`.
 
+Caching operates at two levels: an in-process memoization of traces and
+alone baselines (as before), backed by a persistent on-disk cache
+(:mod:`repro.sim.diskcache`) keyed by content hashes of (benchmark,
+configuration, seed, instruction count) so repeated suite runs — and
+concurrent worker processes — skip recomputation.
+
 Scaling: trace sizes honour the ``REPRO_SCALE`` environment variable
 (a float multiplier over the default instruction count) so the full
-benchmark suite can be sized to the machine at hand.
+benchmark suite can be sized to the machine at hand.  ``run_many`` (and
+everything built on it — ``compare_schedulers``, the aggregate
+experiments, the CLI) fans independent simulations out over worker
+processes when ``jobs > 1`` (``--jobs`` / ``REPRO_JOBS``).
 """
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass, replace
+from typing import Any, Sequence
 
 from ..config import SystemConfig, baseline_system
-from ..cpu.trace import Trace
+from ..cpu.trace import Trace, TraceEntry
 from ..metrics.summary import ThreadResult, WorkloadResult
 from ..schedulers.base import Scheduler
 from ..workloads.generator import TraceGenerator
 from ..workloads.profiles import profile
+from .diskcache import SIM_FINGERPRINT, DiskCache, cache_enabled, content_key
 from .factory import make_scheduler
 from .system import System
 
 __all__ = ["AloneStats", "ExperimentRunner", "default_instructions"]
+
+# Sentinel distinguishing "not passed" (resolve from the environment)
+# from an explicit ``cache_dir=None`` (disable the on-disk cache).
+_DEFAULT_CACHE = object()
 
 _DEFAULT_INSTRUCTIONS = 300_000
 
@@ -59,27 +74,86 @@ class ExperimentRunner:
         config: SystemConfig | None = None,
         instructions: int | None = None,
         seed: int = 0,
+        jobs: int | None = None,
+        cache_dir: Any = _DEFAULT_CACHE,
     ) -> None:
         self.config = config or baseline_system(4)
         self.instructions = instructions or default_instructions()
         self.seed = seed
+        # None → resolve from REPRO_JOBS at run time (default 1 = serial).
+        self.jobs = jobs
         self.generator = TraceGenerator(mapping=self.config.dram.mapping())
         self._trace_cache: dict[tuple[str, int], Trace] = {}
         self._alone_cache: dict[str, AloneStats] = {}
+        if cache_dir is _DEFAULT_CACHE:
+            self._disk: DiskCache | None = DiskCache() if cache_enabled() else None
+        elif cache_dir is None:
+            self._disk = None
+        else:
+            self._disk = DiskCache(cache_dir)
+
+    @property
+    def disk_cache(self) -> DiskCache | None:
+        """The persistent cache backing this runner (``None`` if disabled)."""
+        return self._disk
+
+    @property
+    def cache_dir(self) -> str | None:
+        return str(self._disk.root) if self._disk is not None else None
 
     # -- trace construction ------------------------------------------------------
+    def _trace_key(self, benchmark: str, copy_index: int) -> str:
+        # Traces depend on the profile and generator code (pinned by the
+        # simulator fingerprint), the address mapping (from the DRAM
+        # config), the instruction budget and the effective seed.
+        return content_key(
+            [
+                SIM_FINGERPRINT,
+                benchmark,
+                self.config.dram,
+                self.instructions,
+                self.seed + 1000 * copy_index,
+                self.generator.write_fraction,
+            ]
+        )
+
     def trace_for(self, benchmark: str, copy_index: int = 0) -> Trace:
         """Deterministic trace for ``benchmark``; distinct ``copy_index``
         values give statistically identical but decorrelated traces (for
         workloads with repeated benchmarks)."""
         key = (benchmark, copy_index)
-        if key not in self._trace_cache:
-            self._trace_cache[key] = self.generator.generate(
-                profile(benchmark),
-                instructions=self.instructions,
-                seed=self.seed + 1000 * copy_index,
+        trace = self._trace_cache.get(key)
+        if trace is not None:
+            return trace
+        disk_key = self._trace_key(benchmark, copy_index) if self._disk else ""
+        if self._disk is not None:
+            cached = self._disk.get("trace", disk_key)
+            if cached is not None:
+                trace = Trace(
+                    (TraceEntry(e[0], e[1], bool(e[2]), e[3]) for e in cached["entries"]),
+                    name=cached["name"],
+                )
+                self._trace_cache[key] = trace
+                return trace
+        trace = self.generator.generate(
+            profile(benchmark),
+            instructions=self.instructions,
+            seed=self.seed + 1000 * copy_index,
+        )
+        if self._disk is not None:
+            self._disk.put(
+                "trace",
+                disk_key,
+                {
+                    "name": trace.name,
+                    "entries": [
+                        [e.gap, e.address, int(e.is_write), e.depends_on]
+                        for e in trace.entries
+                    ],
+                },
             )
-        return self._trace_cache[key]
+        self._trace_cache[key] = trace
+        return trace
 
     def _workload_traces(self, workload: list[str]) -> list[Trace]:
         counts: dict[str, int] = {}
@@ -91,15 +165,42 @@ class ExperimentRunner:
         return traces
 
     # -- alone baseline -----------------------------------------------------------
+    def _alone_key(self, benchmark: str) -> str:
+        # The alone run uses a single core on the same memory system, so
+        # the key deliberately ignores ``num_cores``: 4- and 16-core
+        # suites share alone baselines, exactly as the paper's metric
+        # definition implies.
+        return content_key(
+            [
+                SIM_FINGERPRINT,
+                "alone",
+                benchmark,
+                replace(self.config, num_cores=1),
+                self.instructions,
+                self.seed,
+                self.generator.write_fraction,
+            ]
+        )
+
     def alone(self, benchmark: str) -> AloneStats:
-        """Alone-run statistics (cached)."""
+        """Alone-run statistics (cached in memory and on disk).
+
+        JSON stores floats exactly (round-trip-safe), so a cached baseline
+        is bit-identical to a freshly computed one — the parallel engine
+        relies on this for serial/parallel equivalence.
+        """
         if benchmark in self._alone_cache:
             return self._alone_cache[benchmark]
+        disk_key = self._alone_key(benchmark) if self._disk else ""
+        if self._disk is not None:
+            cached = self._disk.get("alone", disk_key)
+            if cached is not None:
+                stats = AloneStats(**cached)
+                self._alone_cache[benchmark] = stats
+                return stats
         trace = self.trace_for(benchmark, 0)
         # One core, but the *same* memory system as the shared runs
         # ("running alone on the same system", Section 7.1).
-        from dataclasses import replace
-
         config = replace(self.config, num_cores=1)
         system = System(
             config,
@@ -111,7 +212,10 @@ class ExperimentRunner:
         core = system.cores[0]
         snap = core.snapshot
         assert snap is not None
-        mem = system.controller.thread_stats[0]
+        # Explicit lookup: a compute-only thread never touches DRAM, so it
+        # has no stats record; stats_for returns a zeroed default instead
+        # of silently fabricating one inside the stats dict.
+        mem = system.controller.stats_for(0)
         stats = AloneStats(
             benchmark=benchmark,
             ipc=snap.ipc,
@@ -122,6 +226,8 @@ class ExperimentRunner:
             loads=snap.loads,
             cycles=snap.cycles,
         )
+        if self._disk is not None:
+            self._disk.put("alone", disk_key, asdict(stats))
         self._alone_cache[benchmark] = stats
         return stats
 
@@ -156,7 +262,7 @@ class ExperimentRunner:
             core = system.cores[thread_id]
             snap = core.snapshot
             assert snap is not None
-            mem = system.controller.thread_stats[thread_id]
+            mem = system.controller.stats_for(thread_id)
             base = self.alone(benchmark)
             threads.append(
                 ThreadResult(
@@ -180,19 +286,81 @@ class ExperimentRunner:
             sim_cycles=sim_cycles,
         )
 
+    # -- parallel fan-out ---------------------------------------------------------
+    def effective_jobs(self, jobs: int | None = None) -> int:
+        """Worker count: explicit argument, the runner's setting, then
+        ``REPRO_JOBS`` (default 1 = serial)."""
+        from .pool import default_jobs
+
+        if jobs is not None:
+            return max(1, jobs)
+        if self.jobs is not None:
+            return max(1, self.jobs)
+        return default_jobs()
+
+    def run_many(
+        self,
+        specs: Sequence[tuple[list[str], str, dict[str, Any]]],
+        jobs: int | None = None,
+    ) -> list[WorkloadResult]:
+        """Run many ``(workload, scheduler name, scheduler kwargs)`` specs,
+        fanning out over worker processes when ``jobs > 1``.
+
+        Results come back in spec order and are bit-identical to running
+        the same specs serially: every simulation is a pure function of
+        its description, and alone-run baselines are pre-warmed into the
+        shared on-disk cache so every worker reads the same values.
+        """
+        specs = list(specs)
+        workers = self.effective_jobs(jobs)
+        if workers <= 1 or len(specs) <= 1:
+            return [
+                self.run_workload(list(workload), name, **kwargs)
+                for workload, name, kwargs in specs
+            ]
+
+        from .pool import SimJob, run_jobs
+
+        if self._disk is not None:
+            # Pre-warm alone baselines (one serial pass over the unique
+            # benchmarks) so workers hit the disk cache instead of each
+            # recomputing the same single-core runs.
+            seen: set[str] = set()
+            for workload, _name, _kwargs in specs:
+                for benchmark in workload:
+                    if benchmark not in seen:
+                        seen.add(benchmark)
+                        self.alone(benchmark)
+        sim_jobs = [
+            SimJob(
+                config=self.config,
+                workload=tuple(workload),
+                scheduler=name,
+                scheduler_kwargs=dict(kwargs),
+                instructions=self.instructions,
+                seed=self.seed,
+                cache_dir=self.cache_dir,
+            )
+            for workload, name, kwargs in specs
+        ]
+        return run_jobs(sim_jobs, workers)
+
     def compare_schedulers(
         self,
         workload: list[str],
         schedulers: list[str] | None = None,
         scheduler_kwargs: dict[str, dict] | None = None,
+        jobs: int | None = None,
     ) -> dict[str, WorkloadResult]:
         """Run ``workload`` under several schedulers (paper's five by
-        default) and return results keyed by scheduler name."""
+        default) and return results keyed by scheduler name.  Scheduler
+        runs are independent, so they parallelize when ``jobs > 1``."""
         from .factory import SCHEDULER_NAMES
 
         names = schedulers or SCHEDULER_NAMES
         kwargs = scheduler_kwargs or {}
-        return {
-            name: self.run_workload(workload, name, **kwargs.get(name, {}))
-            for name in names
-        }
+        results = self.run_many(
+            [(list(workload), name, kwargs.get(name, {})) for name in names],
+            jobs=jobs,
+        )
+        return dict(zip(names, results))

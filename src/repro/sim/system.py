@@ -96,6 +96,9 @@ class System:
         self.port = DramPort(self.controller, self.mapping)
 
         self._finished = 0
+        # Events processed by the last ``run()`` — the numerator of the
+        # simulator-throughput metric (events/sec) in bench_simrate.
+        self.events_processed = 0
         self.cores: list[Core] = []
         self.hierarchies: list[CacheHierarchy] = []
         for thread_id, trace in enumerate(traces):
@@ -142,4 +145,5 @@ class System:
                 raise SimulationError(
                     f"exceeded event budget ({max_events}); simulation stuck?"
                 )
+        self.events_processed = events
         return self.queue.now

@@ -1,0 +1,24 @@
+"""Suite-wide fixtures.
+
+The experiment runner persists alone-run baselines and traces to an
+on-disk cache by default; point it at a per-session temporary directory
+so tests never read or pollute the user's real cache (and every test
+session starts cold).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_disk_cache(tmp_path_factory):
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-cache"))
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous

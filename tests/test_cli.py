@@ -34,6 +34,15 @@ def test_sweep_command(capsys):
     assert "ranking" in capsys.readouterr().out
 
 
+def test_jobs_flag_exports_repro_jobs(capsys, monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    import os
+
+    assert main(["--jobs", "3", "list"]) == 0
+    assert os.environ.get("REPRO_JOBS") == "3"
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])

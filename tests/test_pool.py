@@ -1,0 +1,193 @@
+"""Tests for the process-parallel experiment engine and the disk cache."""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+
+import pytest
+
+from repro.config import baseline_system
+from repro.sim import diskcache
+from repro.sim.diskcache import DiskCache, cache_enabled, clear_cache, content_key
+from repro.sim.pool import SimJob, default_jobs, run_job, run_jobs
+from repro.sim.runner import ExperimentRunner
+
+INSTRUCTIONS = 20_000
+WORKLOAD = ["mcf", "libquantum", "omnetpp", "hmmer"]
+SCHEDULERS = ["FR-FCFS", "PAR-BS"]
+
+
+# -- job descriptions ----------------------------------------------------------
+def test_sim_job_is_picklable(tmp_path):
+    job = SimJob(
+        config=baseline_system(4),
+        workload=tuple(WORKLOAD),
+        scheduler="PAR-BS",
+        scheduler_kwargs={"marking_cap": 5},
+        instructions=INSTRUCTIONS,
+        seed=3,
+        cache_dir=str(tmp_path),
+    )
+    clone = pickle.loads(pickle.dumps(job))
+    assert clone == job
+    assert clone.runner_key() == job.runner_key()
+
+
+def test_default_jobs_env(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    assert default_jobs() == 1
+    monkeypatch.setenv("REPRO_JOBS", "6")
+    assert default_jobs() == 6
+    monkeypatch.setenv("REPRO_JOBS", "0")
+    assert default_jobs() == 1
+
+
+# -- disk cache ----------------------------------------------------------------
+def test_content_key_stability_and_sensitivity():
+    config = baseline_system(4)
+    assert content_key([config, 1]) == content_key([baseline_system(4), 1])
+    assert content_key([config, 1]) != content_key([config, 2])
+    assert content_key([config, 1]) != content_key([baseline_system(8), 1])
+
+
+def test_disk_cache_roundtrip_and_clear(tmp_path):
+    cache = DiskCache(tmp_path)
+    assert cache.get("alone", "k") is None
+    cache.put("alone", "k", {"ipc": 1.25})
+    assert cache.get("alone", "k") == {"ipc": 1.25}
+    assert cache.stats() == {"hits": 1, "misses": 1, "writes": 1}
+    assert clear_cache(tmp_path) == 1
+    assert cache.get("alone", "k") is None
+
+
+def test_disk_cache_drops_corrupt_entries(tmp_path):
+    cache = DiskCache(tmp_path)
+    cache.put("trace", "bad", [1, 2, 3])
+    path = cache._path("trace", "bad")
+    path.write_text("{not json")
+    assert cache.get("trace", "bad") is None
+    assert not path.exists()
+
+
+def test_cache_enabled_env(monkeypatch):
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    assert cache_enabled()
+    monkeypatch.setenv("REPRO_CACHE", "0")
+    assert not cache_enabled()
+    assert ExperimentRunner(instructions=INSTRUCTIONS).disk_cache is None
+
+
+# -- serial/parallel equivalence ----------------------------------------------
+@pytest.fixture(scope="module")
+def serial_results():
+    # jobs=1 pins the serial path even if REPRO_JOBS is set in the
+    # environment (CI runs this file with REPRO_JOBS=2).
+    runner = ExperimentRunner(
+        baseline_system(4), instructions=INSTRUCTIONS, jobs=1, cache_dir=None
+    )
+    return runner.compare_schedulers(WORKLOAD, SCHEDULERS)
+
+
+def test_parallel_matches_serial_bit_identical(tmp_path, serial_results):
+    runner = ExperimentRunner(
+        baseline_system(4),
+        instructions=INSTRUCTIONS,
+        jobs=2,
+        cache_dir=tmp_path / "cache",
+    )
+    parallel = runner.compare_schedulers(WORKLOAD, SCHEDULERS)
+    # WorkloadResult is a frozen dataclass tree of exact ints/floats, so
+    # equality here means bit-identical metrics, thread by thread.
+    assert parallel == serial_results
+
+
+def test_second_run_hits_disk_cache(tmp_path, serial_results):
+    cache_dir = tmp_path / "cache"
+    first = ExperimentRunner(
+        baseline_system(4), instructions=INSTRUCTIONS, cache_dir=cache_dir
+    )
+    r1 = first.compare_schedulers(WORKLOAD, SCHEDULERS)
+    assert first.disk_cache.writes > 0
+
+    second = ExperimentRunner(
+        baseline_system(4), instructions=INSTRUCTIONS, cache_dir=cache_dir
+    )
+    r2 = second.compare_schedulers(WORKLOAD, SCHEDULERS)
+    stats = second.disk_cache.stats()
+    assert stats["misses"] == 0 and stats["writes"] == 0
+    assert stats["hits"] > 0
+    assert r1 == r2 == serial_results
+
+
+def test_run_job_standalone_matches_runner(tmp_path, serial_results):
+    job = SimJob(
+        config=baseline_system(4),
+        workload=tuple(WORKLOAD),
+        scheduler="PAR-BS",
+        instructions=INSTRUCTIONS,
+        cache_dir=str(tmp_path / "cache"),
+    )
+    assert run_job(job) == serial_results["PAR-BS"]
+    # run_jobs with workers=1 stays in-process and preserves order.
+    jobs = [
+        SimJob(
+            config=baseline_system(4),
+            workload=tuple(WORKLOAD),
+            scheduler=name,
+            instructions=INSTRUCTIONS,
+            cache_dir=str(tmp_path / "cache"),
+        )
+        for name in SCHEDULERS
+    ]
+    assert run_jobs(jobs, workers=1) == [serial_results[n] for n in SCHEDULERS]
+
+
+def test_run_many_mixed_specs_order(tmp_path, serial_results):
+    runner = ExperimentRunner(
+        baseline_system(4),
+        instructions=INSTRUCTIONS,
+        cache_dir=tmp_path / "cache",
+    )
+    specs = [(WORKLOAD, name, {}) for name in reversed(SCHEDULERS)]
+    results = runner.run_many(specs, jobs=2)
+    assert [r.scheduler for r in results] == list(reversed(SCHEDULERS))
+    assert results[-1] == serial_results[SCHEDULERS[0]]
+
+
+def test_global_stats_accumulate(tmp_path):
+    before = dict(diskcache.GLOBAL_STATS)
+    cache = DiskCache(tmp_path)
+    cache.put("alone", "x", 1)
+    cache.get("alone", "x")
+    assert diskcache.GLOBAL_STATS["writes"] == before["writes"] + 1
+    assert diskcache.GLOBAL_STATS["hits"] == before["hits"] + 1
+
+
+# -- wall-clock speedup (needs real cores) -------------------------------------
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4, reason="parallel speedup needs >= 4 CPUs"
+)
+def test_parallel_wall_clock_speedup(tmp_path):
+    cache_dir = tmp_path / "cache"
+    runner = ExperimentRunner(
+        baseline_system(4), instructions=60_000, cache_dir=cache_dir
+    )
+    # Warm alone baselines + traces so both timings measure only the
+    # shared-run simulations.
+    for benchmark in set(WORKLOAD):
+        runner.alone(benchmark)
+
+    start = time.perf_counter()
+    serial = runner.compare_schedulers(WORKLOAD, jobs=1)
+    t_serial = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = runner.compare_schedulers(WORKLOAD, jobs=4)
+    t_parallel = time.perf_counter() - start
+
+    assert parallel == serial
+    # Five independent scheduler runs over four workers; allow generous
+    # headroom below the ideal bound for fork + pickle overhead.
+    assert t_serial / t_parallel >= 2.0, (t_serial, t_parallel)

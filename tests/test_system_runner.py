@@ -126,6 +126,31 @@ def test_slowdowns_at_least_one(runner):
     assert all(t.memory_slowdown >= 1.0 for t in result.threads)
 
 
+def test_compute_only_thread_not_fabricated():
+    """A thread that never touches memory must keep zeroed stats without
+    a record being silently inserted into ``thread_stats`` (regression:
+    the old defaultdict lookup fabricated an entry on read)."""
+    from dataclasses import replace
+
+    config = replace(baseline_system(4), num_cores=2)
+    mem = Trace([TraceEntry(5, i * 64) for i in range(100)], name="mem")
+    compute_only = Trace([], name="compute")
+    system = System(
+        config, make_scheduler("PAR-BS", 2), [mem, compute_only], repeat=False
+    )
+    system.run()
+
+    assert sorted(system.controller.thread_stats) == [0]
+    stats = system.controller.stats_for(1)
+    assert stats.reads == 0 and stats.writes == 0
+    assert stats.bank_level_parallelism == 0.0
+    assert stats.row_hit_rate == 0.0
+    assert stats.latency_max == 0
+    # The read-only lookup must not have inserted anything.
+    assert sorted(system.controller.thread_stats) == [0]
+    assert system.controller.pending_reads(1) == 0
+
+
 def test_default_instructions_env(monkeypatch):
     from repro.sim.runner import default_instructions
 
