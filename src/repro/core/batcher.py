@@ -87,8 +87,13 @@ class Batcher:
 
     # -- marking helpers ------------------------------------------------------
     def _pending_reads(self) -> Iterable[tuple[tuple[int, int], Iterable[MemoryRequest]]]:
+        # Marking walks the controller's per-bank row buckets directly —
+        # no flattened per-bank copies are materialized.
         assert self.controller is not None
-        return self.controller.buffered_reads_by_bank()
+        return (
+            (key, index.requests())
+            for key, index in self.controller.read_indexes()
+        )
 
     def _thread_markable(self, thread_id: int) -> bool:
         """Priority-based marking: level X threads join every X-th batch."""

@@ -104,6 +104,17 @@ class ParBsScheduler(Scheduler):
         if within_batch not in ("par", "frfcfs", "fcfs"):
             raise ValueError(f"unknown within-batch policy {within_batch!r}")
         self.within_batch = within_batch
+        # Incremental-index protocol: the scan key is (marked, priority,
+        # row_hit, [rank,] age), so marked+priority form the prefix that
+        # outranks row hits; the "fcfs" ablation ignores the row buffer
+        # entirely.  Keys stay valid between batch boundaries — marks and
+        # ranks change only when a batch forms, which bumps the epoch in
+        # ``_on_new_batch``.
+        self.index_prefix_len = 2
+        self.index_uses_row = within_batch != "fcfs"
+        self.index_key = (
+            self._index_key_ranked if within_batch == "par" else self._index_key_plain
+        )
         if within_batch == "par":
             self.ranking: ThreadRanking | None = (
                 ranking if isinstance(ranking, ThreadRanking) else make_ranking(ranking, seed)
@@ -133,6 +144,9 @@ class ParBsScheduler(Scheduler):
         queue.schedule_in(period, tick, priority=3)
 
     def _on_new_batch(self, marked: list[MemoryRequest]) -> None:
+        # A batch boundary rewrites marks (and possibly ranks) across the
+        # whole buffer: every cached index key is stale.
+        self.index_epoch += 1
         if self.ranking is None:
             return
         # Per the paper's hardware sketch (Section 6), the Max-Total
@@ -153,6 +167,23 @@ class ParBsScheduler(Scheduler):
     # -- arbitration ----------------------------------------------------------------
     def rank_of(self, thread_id: int) -> int:
         return self._ranks.get(thread_id, UNRANKED)
+
+    def _index_key_ranked(self, request: MemoryRequest) -> tuple:
+        return (
+            not request.marked,
+            request.priority_level,
+            self._ranks.get(request.thread_id, UNRANKED),
+            request.arrival_time,
+            request.request_id,
+        )
+
+    def _index_key_plain(self, request: MemoryRequest) -> tuple:
+        return (
+            not request.marked,
+            request.priority_level,
+            request.arrival_time,
+            request.request_id,
+        )
 
     def _key(self, request: MemoryRequest) -> tuple:
         marked_first = not request.marked

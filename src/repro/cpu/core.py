@@ -27,6 +27,7 @@ slowdown, AST/req).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Protocol
 
@@ -110,13 +111,17 @@ class Core:
         self._dispatched = 0
         self._trace_pos = 0
         self._base_instructions = 0  # instructions from completed trace passes
-        # Cached per-pass constants: the trace is immutable, and both values
+        # Cached per-pass constants: the trace is immutable, and all three
         # are read on every iteration of the analytical advance loop.
         self._trace_len = len(trace)
         self._trace_end_index = trace.total_instructions
+        self._cum_index = trace.cum_index
         self._next_mem_index = self._mem_index(0)
 
-        self._pending: list[_PendingLoad] = []  # incomplete loads, program order
+        # Incomplete loads in program order.  Completed loads retire from
+        # the front on every data return (the simulator's hottest
+        # callback), so this must be a deque, not a list.
+        self._pending: deque[_PendingLoad] = deque()
         self._incomplete_gpos: set[int] = set()  # for dependency checks
         # Accesses dispatched but waiting for a parent load's data before
         # their request can be sent: parent gpos -> [(address, is_write, load)].
@@ -141,16 +146,7 @@ class Core:
         the current trace pass, or None past the end."""
         if pos >= self._trace_len:
             return None
-        # Cache cumulative indices on the trace object (shared across cores).
-        cum = getattr(self.trace, "_cum_index", None)
-        if cum is None:
-            cum = []
-            acc = 0
-            for entry in self.trace.entries:
-                acc += entry.gap + 1
-                cum.append(acc)
-            self.trace._cum_index = cum  # type: ignore[attr-defined]
-        return self._base_instructions + cum[pos]
+        return self._base_instructions + self._cum_index[pos]
 
     @property
     def instructions_retired(self) -> int:
@@ -171,8 +167,9 @@ class Core:
         load.done = True
         self.mshr_in_use -= 1
         self._incomplete_gpos.discard(load.gpos)
-        while self._pending and self._pending[0].done:
-            self._pending.pop(0)
+        pending = self._pending
+        while pending and pending[0].done:
+            pending.popleft()
         # Release accesses that were waiting on this load's data.
         for address, is_write, waiter in self._dep_waiters.pop(load.gpos, ()):
             self._send(address, is_write, waiter)
@@ -192,26 +189,31 @@ class Core:
         mshrs = self.config.mshrs
         entries = self.trace.entries
         trace_len = self._trace_len
-        while self._t < now:
-            pending = self._pending
-            r_limit = pending[0].index - 1 if pending else self._trace_end_index
+        # The pending deque and the end index are stable object references /
+        # values across loop iterations except through the calls re-synced
+        # below, so they live in locals too.
+        pending = self._pending
+        end_index = self._trace_end_index
+        t = self._t
+        while t < now:
+            r_limit = pending[0].index - 1 if pending else end_index
             trace_pos = self._trace_pos
-            next_entry = entries[trace_pos] if trace_pos < trace_len else None
-            dispatch_blocked = (
-                next_entry is not None
-                and not next_entry.is_write
-                and self.mshr_in_use >= mshrs
-            )
-            if next_entry is None:
-                d_stop = self._trace_end_index
-            elif dispatch_blocked:
-                d_stop = self._next_mem_index - 1
+            if trace_pos < trace_len:
+                next_entry = entries[trace_pos]
+                if next_entry.is_write or self.mshr_in_use < mshrs:
+                    dispatch_blocked = False
+                    d_stop = self._next_mem_index
+                else:
+                    dispatch_blocked = True
+                    d_stop = self._next_mem_index - 1
             else:
-                d_stop = self._next_mem_index
+                next_entry = None
+                dispatch_blocked = False
+                d_stop = end_index
 
             retired0 = self._retired
             dispatched0 = self._dispatched
-            dt = now - self._t
+            dt = now - t
             if retired0 < r_limit:
                 step = -((retired0 - r_limit) // width)  # ceil-div
                 if step < dt:
@@ -223,15 +225,26 @@ class Core:
             if dt < 1:
                 dt = 1
 
-            retired_raw = min(r_limit, retired0 + width * dt)
-            dispatched = min(d_stop, retired_raw + window, dispatched0 + width * dt)
+            # min() spelled as comparisons: this runs a million times per
+            # simulated run and the builtin's call overhead is measurable.
+            retired_raw = retired0 + width * dt
+            if retired_raw > r_limit:
+                retired_raw = r_limit
+            dispatched = d_stop
+            bound = retired_raw + window
+            if bound < dispatched:
+                dispatched = bound
+            bound = dispatched0 + width * dt
+            if bound < dispatched:
+                dispatched = bound
             retired = retired_raw if retired_raw < dispatched else dispatched
 
             # Stall accounting: commit blocked by an incomplete DRAM load.
             if pending and retired0 >= r_limit:
                 self.stall_cycles += dt
 
-            self._t += dt
+            t += dt
+            self._t = t
             self._retired = retired
             self._dispatched = dispatched
 
@@ -244,10 +257,11 @@ class Core:
 
             if (
                 self._trace_pos >= trace_len
-                and not self._pending
-                and self._retired >= self._trace_end_index
+                and not pending
+                and self._retired >= end_index
             ):
                 self._complete_pass()
+                end_index = self._trace_end_index
             if self.finished and not self.repeat:
                 break
         self._maybe_complete_pass()
@@ -280,7 +294,8 @@ class Core:
             self._incomplete_gpos.add(gpos)
             # The load cannot retire before its data returns; commit stops
             # just below it even if the segment arithmetic reached further.
-            self._retired = min(self._retired, index - 1)
+            if self._retired > index - 1:
+                self._retired = index - 1
             self.mshr_in_use += 1
             self.loads_issued += 1
         else:

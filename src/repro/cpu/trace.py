@@ -49,10 +49,17 @@ class Trace:
     def __init__(self, entries: Iterable[TraceEntry], name: str = "trace") -> None:
         self.entries: tuple[TraceEntry, ...] = tuple(entries)
         self.name = name
-        # Entries are immutable, so the instruction count is fixed; it is
-        # read on the simulator's hot path (every core wake-up) and must
-        # not be recomputed by summing the whole trace each time.
-        self._total_instructions = sum(e.gap + 1 for e in self.entries)
+        # Entries are immutable, so both derived sequences below are fixed.
+        # ``cum_index[pos]`` is the 1-based global instruction index of the
+        # ``pos``-th memory instruction; the core model reads it on every
+        # dispatch, so it is precomputed here rather than cached ad hoc.
+        cum = []
+        acc = 0
+        for entry in self.entries:
+            acc += entry.gap + 1
+            cum.append(acc)
+        self.cum_index: tuple[int, ...] = tuple(cum)
+        self._total_instructions = acc
 
     def __len__(self) -> int:
         return len(self.entries)

@@ -62,7 +62,8 @@ class Bank:
 
     def earliest_start(self, now: int) -> int:
         """Earliest time a new access could begin its first command."""
-        return max(now, self.busy_until)
+        busy_until = self.busy_until
+        return now if now >= busy_until else busy_until
 
     def service(self, request: MemoryRequest, now: int, bus: DataBus) -> AccessOutcome:
         """Service ``request`` starting no earlier than ``now``.
@@ -72,35 +73,46 @@ class Bank:
         state, and returns the access timeline.
         """
         t = self.timing
-        start = self.earliest_start(now)
-        row_result = self.row_state(request.row)
+        busy_until = self.busy_until
+        start = now if now >= busy_until else busy_until
+        row = request.row
+        open_row = self.open_row
+        row_result = (
+            "closed" if open_row is None else ("hit" if open_row == row else "conflict")
+        )
 
         cursor = start
         if row_result == "conflict":
             # Precharge may not violate tRAS (row open time) or tWR.
-            cursor = max(cursor, self._activate_time + t.tRAS, self._write_recovery_until)
+            bound = self._activate_time + t.tRAS
+            if bound > cursor:
+                cursor = bound
+            bound = self._write_recovery_until
+            if bound > cursor:
+                cursor = bound
             cursor += t.tRP  # precharge done
             cursor += t.tRCD  # activate done
             self._activate_time = cursor - t.tRCD
+            self.row_conflicts += 1
         elif row_result == "closed":
-            cursor = max(cursor, self._write_recovery_until)
+            bound = self._write_recovery_until
+            if bound > cursor:
+                cursor = bound
             self._activate_time = cursor
             cursor += t.tRCD
+        else:
+            self.row_hits += 1
         # CAS command: read/write latency until data.
         cas_done = cursor + t.tCL
         data_start = bus.reserve(cas_done)
         completion = data_start + t.tBUS
 
-        self.open_row = request.row
+        self.open_row = row
         self.busy_until = completion
         if request.type is RequestType.WRITE:
             self._write_recovery_until = completion + t.tWR
 
         self.accesses += 1
-        if row_result == "hit":
-            self.row_hits += 1
-        elif row_result == "conflict":
-            self.row_conflicts += 1
 
         return AccessOutcome(
             start=start,

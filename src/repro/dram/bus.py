@@ -28,9 +28,11 @@ class DataBus:
         Returns the actual start time of the burst and advances the bus
         state.
         """
-        start = max(earliest, self.free_at)
-        self.free_at = start + self.timing.tBUS
-        self.busy_cycles += self.timing.tBUS
+        free_at = self.free_at
+        start = earliest if earliest >= free_at else free_at
+        tbus = self.timing.tBUS
+        self.free_at = start + tbus
+        self.busy_cycles += tbus
         self.transfers += 1
         return start
 

@@ -36,6 +36,16 @@ class Channel:
         """Next command-bus slot without consuming it."""
         return max(earliest, self._last_command + self.timing.tCK)
 
+    def try_command_slot(self, now: int) -> int:
+        """Consume the command-bus slot at ``now`` if one is free, returning
+        ``now``; otherwise return the next free slot time, unconsumed.  One
+        call where the issue path previously needed a peek plus a consume."""
+        slot = self._last_command + self.timing.tCK
+        if slot <= now:
+            self._last_command = now
+            return now
+        return slot
+
     @property
     def num_banks(self) -> int:
         return len(self.banks)

@@ -12,6 +12,17 @@ here, common to every scheduler in the paper (Section 7.2):
 * one command-bus slot (one DRAM clock) separates issue decisions on a
   channel.
 
+Request buffers are stored as :mod:`incremental arbitration indexes
+<repro.dram.rqindex>` — row-bucketed with epoch-cached priority heaps — so
+an issue decision is a heap peek instead of an O(occupancy) scan.  Three
+arbitration modes exist (``arbitration=`` constructor argument):
+
+* ``"index"`` (default) — decisions answered from the index;
+* ``"scan"`` — the reference ``min()``-over-candidates path (also the
+  automatic fallback for schedulers without index support);
+* ``"verify"`` — both, asserting they agree at every decision (the golden
+  equivalence harness used by the test suite).
+
 Per-thread statistics gathered here feed the paper's metrics: bank-level
 parallelism (BLP, the time-average number of banks concurrently servicing a
 thread while at least one is), row-buffer hit rate, and request latencies
@@ -21,16 +32,18 @@ including the worst case.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Iterator, Mapping, Sequence
 
-from ..events import EventQueue
+from ..events import EventQueue, SimulationError
 from .channel import Channel
-from .request import MemoryRequest, RequestType
+from .request import MemoryRequest
+from .rqindex import BankReadIndex, WriteFifo
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..config import DramConfig
     from ..schedulers.base import Scheduler
+    from .bank import Bank
 
 __all__ = ["MemoryController", "ThreadMemStats"]
 
@@ -92,7 +105,10 @@ class MemoryController:
         config: "DramConfig",
         scheduler: "Scheduler",
         num_threads: int,
+        arbitration: str = "index",
     ) -> None:
+        if arbitration not in ("index", "scan", "verify"):
+            raise ValueError(f"unknown arbitration mode {arbitration!r}")
         self.queue = queue
         self.config = config
         self.scheduler = scheduler
@@ -102,17 +118,32 @@ class MemoryController:
             Channel(config.timing, config.num_banks, channel_id=c)
             for c in range(config.num_channels)
         ]
-        # Pending (not yet issued) requests per (channel, bank), split by type.
-        self._reads: dict[tuple[int, int], list[MemoryRequest]] = defaultdict(list)
-        self._writes: dict[tuple[int, int], list[MemoryRequest]] = defaultdict(list)
+        # Schedulers without index support (index_key is None) always use
+        # the scan path, whatever mode was requested.
+        if scheduler.index_key is None:
+            arbitration = "scan"
+        self.arbitration = arbitration
+        self._use_index = arbitration != "scan"
+        self._verify_index = arbitration == "verify"
+        # Pending (not yet issued) requests per (channel, bank), split by
+        # type: row-bucketed heap indexes for reads, FIFOs for writes.
+        self._reads: dict[tuple[int, int], BankReadIndex] = {}
+        self._writes: dict[tuple[int, int], WriteFifo] = {}
         self._write_occupancy = 0
         self._draining_writes = False
         # Buffered (not yet issued) reads per thread: kept incrementally so
         # ``pending_reads(thread_id)`` — called by batchers on the enqueue
         # path — is O(1) instead of a scan over the whole request buffer.
         self._reads_per_thread: dict[int, int] = defaultdict(int)
-        # A wake event is pending per bank at this time (dedup).
+        # A wake event is pending per bank at this time (dedup), plus one
+        # reusable wake callback per bank so scheduling a wake does not
+        # allocate a fresh closure.
         self._bank_wake: dict[tuple[int, int], int] = {}
+        self._wake_cbs = {
+            (c, b): (lambda key=(c, b): self._wake(key))
+            for c in range(config.num_channels)
+            for b in range(config.num_banks)
+        }
 
         # Stats appear here only for threads that actually issued requests;
         # use :meth:`stats_for` for lookups that must tolerate absent threads.
@@ -145,43 +176,71 @@ class MemoryController:
 
     def buffered_reads(self) -> Iterator[MemoryRequest]:
         """Iterate over every buffered (not yet issued) read request."""
-        for requests in self._reads.values():
-            yield from requests
+        for index in self._reads.values():
+            for bucket in index.rows.values():
+                yield from bucket
 
     def buffered_reads_by_bank(
         self,
     ) -> Iterable[tuple[tuple[int, int], Sequence[MemoryRequest]]]:
         """Buffered reads grouped by (channel, bank); empty banks skipped."""
-        return ((key, reqs) for key, reqs in self._reads.items() if reqs)
+        return (
+            (key, tuple(index.requests()))
+            for key, index in self._reads.items()
+            if index.size
+        )
 
     def buffered_reads_for_bank(
         self, key: tuple[int, int]
     ) -> Sequence[MemoryRequest]:
         """Buffered reads waiting on one (channel, bank)."""
-        return self._reads.get(key) or ()
+        index = self._reads.get(key)
+        return tuple(index.requests()) if index is not None else ()
+
+    def buffered_read_threads(self, key: tuple[int, int]) -> Mapping[int, int]:
+        """Threads with buffered reads on one (channel, bank), with counts
+        (an incrementally maintained view; do not mutate)."""
+        index = self._reads.get(key)
+        return index.thread_counts if index is not None else {}
+
+    def read_indexes(
+        self,
+    ) -> Iterable[tuple[tuple[int, int], BankReadIndex]]:
+        """Per-bank read indexes with at least one buffered request."""
+        return ((key, index) for key, index in self._reads.items() if index.size)
 
     def enqueue(self, request: MemoryRequest) -> None:
         """Accept a new request from a core/cache."""
-        request.arrival_time = self.queue.now
+        now = self.queue.now
+        request.arrival_time = now
         key = (request.channel, request.bank)
         if request.is_read:
-            bucket = self._reads[key]
-            request.buf_pos = len(bucket)
-            bucket.append(request)
+            index = self._reads.get(key)
+            if index is None:
+                index = self._reads[key] = BankReadIndex()
+            index.add(request)
             self._reads_per_thread[request.thread_id] += 1
             self.read_occupancy += 1
-            self.peak_read_occupancy = max(self.peak_read_occupancy, self.read_occupancy)
+            if self.read_occupancy > self.peak_read_occupancy:
+                self.peak_read_occupancy = self.read_occupancy
             self.total_reads += 1
+            self.scheduler.on_enqueue(request, now)
+            # Index after the scheduler hooks ran: they stamp the priority
+            # fields (virtual finish time, marks, priority level) the key
+            # is built from.
+            if self._use_index:
+                index.push(request, self.scheduler)
         else:
-            bucket = self._writes[key]
-            request.buf_pos = len(bucket)
-            bucket.append(request)
+            fifo = self._writes.get(key)
+            if fifo is None:
+                fifo = self._writes[key] = WriteFifo()
+            fifo.push(request)
             self._write_occupancy += 1
             self.total_writes += 1
             if self._write_occupancy > self.config.write_drain_high:
                 self._draining_writes = True
-        self.scheduler.on_enqueue(request, self.queue.now)
-        self._schedule_wake(key, self.queue.now)
+            self.scheduler.on_enqueue(request, now)
+        self._schedule_wake(key, now)
 
     # --------------------------------------------------------- event plumbing
     def _schedule_wake(self, key: tuple[int, int], when: int) -> None:
@@ -191,17 +250,17 @@ class MemoryController:
         if pending is not None and pending <= when:
             return
         self._bank_wake[key] = when
-        self.queue.schedule(when, lambda: self._wake(key), priority=1)
+        self.queue.schedule(when, self._wake_cbs[key], priority=1)
 
     def _wake(self, key: tuple[int, int]) -> None:
+        # ``_bank_wake[key]`` is the earliest pending wake time for the
+        # bank; it can only move earlier while set, and the event at that
+        # time clears it.  Any event that fires without matching it is a
+        # superseded leftover: an earlier wake already arbitrated (and
+        # rescheduled if anything was left to do), so just drop it.
         if self._bank_wake.get(key) != self.queue.now:
-            # Superseded by an earlier wake that already ran.
-            if self._bank_wake.get(key, -1) < self.queue.now:
-                self._bank_wake.pop(key, None)
-            else:
-                return
-        else:
-            self._bank_wake.pop(key, None)
+            return
+        del self._bank_wake[key]
         self._try_issue(key)
 
     def _try_issue(self, key: tuple[int, int]) -> None:
@@ -209,60 +268,76 @@ class MemoryController:
         channel = self.channels[channel_id]
         bank = channel.banks[bank_id]
         now = self.queue.now
-        if bank.earliest_start(now) > now:
-            self._schedule_wake(key, bank.earliest_start(now))
+        busy_until = bank.busy_until
+        if busy_until > now:
+            self._schedule_wake(key, busy_until)
             return
-        request = self._pick(key, now)
+        request = self._pick(key, now, bank)
         if request is None:
             return
         # Consume a command-bus slot; if the command bus pushes us into the
         # future, retry then rather than issuing early.
-        slot = channel.next_command_time(now)
+        slot = channel.try_command_slot(now)
         if slot > now:
             self._schedule_wake(key, slot)
             return
-        channel.command_slot(now)
-        self._issue(request, key, now)
+        self._issue(request, key, now, channel, bank)
 
-    def _pick(self, key: tuple[int, int], now: int) -> MemoryRequest | None:
-        reads = self._reads.get(key) or []
-        writes = self._writes.get(key) or []
-        if self._draining_writes and writes:
-            return self._pick_write(writes)
-        if reads:
-            return self.scheduler.select(reads, key, now)
-        if writes:
-            return self._pick_write(writes)
+    def _pick(
+        self, key: tuple[int, int], now: int, bank: "Bank"
+    ) -> MemoryRequest | None:
+        if self._write_occupancy:
+            writes = self._writes.get(key)
+            has_writes = writes is not None and writes.size > 0
+            if has_writes and self._draining_writes:
+                return writes.peek()
+        else:
+            writes = None
+            has_writes = False
+        index = self._reads.get(key)
+        if index is not None and index.size > 0:
+            if self._use_index:
+                request = self.scheduler.select_indexed(
+                    index, key, now, bank.open_row
+                )
+                if self._verify_index:
+                    self._verify_pick(index, key, now, request)
+                return request
+            return self.scheduler.select(list(index.requests()), key, now)
+        if has_writes:
+            return writes.peek()
         return None
 
-    @staticmethod
-    def _pick_write(writes: list[MemoryRequest]) -> MemoryRequest:
-        # Writes are drained oldest-first; they are latency-insensitive.
-        return min(writes, key=lambda r: (r.arrival_time, r.request_id))
+    def _verify_pick(
+        self,
+        index: BankReadIndex,
+        key: tuple[int, int],
+        now: int,
+        request: MemoryRequest,
+    ) -> None:
+        """Golden equivalence check: the reference scan must agree with the
+        indexed decision at every arbitration."""
+        scan = self.scheduler.select(list(index.requests()), key, now)
+        if scan is not request:
+            raise SimulationError(
+                f"arbitration divergence at t={now} bank={key}: "
+                f"index picked {request!r}, scan picked {scan!r}"
+            )
 
-    @staticmethod
-    def _remove_buffered(bucket: list[MemoryRequest], request: MemoryRequest) -> None:
-        """Swap-pop ``request`` out of its buffer bucket in O(1).
-
-        Bucket order is not meaningful — every consumer (scheduler selects,
-        write drain, batch marking) orders requests by explicit sort keys.
-        """
-        pos = request.buf_pos
-        last = bucket.pop()
-        if last is not request:
-            bucket[pos] = last
-            last.buf_pos = pos
-        request.buf_pos = -1
-
-    def _issue(self, request: MemoryRequest, key: tuple[int, int], now: int) -> None:
-        channel = self.channels[key[0]]
-        bank = channel.banks[key[1]]
+    def _issue(
+        self,
+        request: MemoryRequest,
+        key: tuple[int, int],
+        now: int,
+        channel: Channel,
+        bank: "Bank",
+    ) -> None:
         if request.is_read:
-            self._remove_buffered(self._reads[key], request)
+            self._reads[key].remove(request)
             self._reads_per_thread[request.thread_id] -= 1
             self.read_occupancy -= 1
         else:
-            self._remove_buffered(self._writes[key], request)
+            self._writes[key].remove(request)
             self._write_occupancy -= 1
             if self._write_occupancy <= self.config.write_drain_low:
                 self._draining_writes = False
@@ -294,7 +369,8 @@ class MemoryController:
             stats.service_finished(now)
         latency = request.latency + self.timing.overhead
         stats.latency_sum += latency
-        stats.latency_max = max(stats.latency_max, latency)
+        if latency > stats.latency_max:
+            stats.latency_max = latency
         if request.is_read:
             stats.reads += 1
         else:

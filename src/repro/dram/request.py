@@ -19,14 +19,16 @@ class RequestType(Enum):
     WRITE = "write"
 
 
-@dataclass
+@dataclass(slots=True)
 class MemoryRequest:
     """A single DRAM request (one 64-byte cache line).
 
     Scheduler-owned fields (``marked``, ``rank``, ``priority_level``,
     ``virtual_finish``) live on the request so that every scheduling policy
     in the paper can be expressed as a sort key over the request buffer,
-    mirroring the priority-register implementation of Section 6.
+    mirroring the priority-register implementation of Section 6.  Slotted:
+    requests are the most-allocated and most-accessed objects in the
+    simulator, and every field is known up front.
     """
 
     thread_id: int
@@ -58,9 +60,12 @@ class MemoryRequest:
     # lets schedulers (e.g. STFM) observe service durations.
     service_outcome: object | None = None
 
-    @property
-    def is_read(self) -> bool:
-        return self.type is RequestType.READ
+    # Derived once at construction: ``is_read`` is checked on every
+    # controller hot path and ``type`` never changes after creation.
+    is_read: bool = field(init=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self.is_read = self.type is RequestType.READ
 
     @property
     def latency(self) -> int:

@@ -1,0 +1,212 @@
+"""Incremental arbitration index over the controller's request buffers.
+
+Every issue decision used to re-scan the whole per-bank read bucket with a
+Python ``min()`` over freshly built key tuples, so arbitration cost grew
+linearly with buffer occupancy even though a request's priority only
+changes at discrete events — a batch forming, a rank table refresh, the
+bank's open row changing.  (The Blacklisting Memory Scheduler paper makes
+the same complexity argument against ranking-based schedulers in hardware;
+this module answers it in software.)  The index replaces the scans with
+incrementally maintained structures:
+
+* **Row buckets** — each bank's buffered reads live in a ``row →
+  requests`` dict, so the row-hit candidate set is an O(1) lookup of the
+  bank's open row instead of a filter over the whole bucket.  The open row
+  therefore never needs to appear inside a heap key, which is what keeps
+  the heaps below valid across row-buffer changes.
+
+* **Lazy-deletion heaps with an epoch protocol** — per bank, one heap over
+  all buffered reads and one per row bucket, ordered by a
+  scheduler-supplied priority key (:meth:`Scheduler.index_key
+  <repro.schedulers.base.Scheduler.index_key>`).  Keys must be immutable
+  while the scheduler's ``index_epoch`` stands still; when global priority
+  state changes (PAR-BS batch formation or rank recompute, STFM
+  fairness-mode flips) the scheduler bumps the epoch and a bank's heaps
+  are rebuilt lazily, only when that bank next arbitrates.  Otherwise
+  insert and extract are O(log n); issued requests are deleted lazily
+  (skipped at ``peek`` time via ``buf_pos``), never searched for.
+
+Write buffers need neither epochs nor row buckets: writes drain strictly
+oldest-first under every policy, so :class:`WriteFifo` is a plain heap on
+``(arrival_time, request_id)`` whose keys never go stale — the
+controller's write-drain toggle only changes *which* structure is
+consulted, not any key.
+
+Selection semantics are defined by the schedulers' scan implementations;
+see :meth:`Scheduler.select_indexed` for the prefix-comparison rule that
+makes the two bit-identical, and ``tests/test_rqindex.py`` for the golden
+equivalence harness that runs both side by side.
+"""
+
+from __future__ import annotations
+
+from heapq import heapify, heappop, heappush
+from typing import TYPE_CHECKING, Iterator
+
+from .request import MemoryRequest
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..schedulers.base import Scheduler
+
+__all__ = ["BankReadIndex", "WriteFifo"]
+
+
+class BankReadIndex:
+    """Buffered reads of one (channel, bank), row-bucketed and heap-indexed.
+
+    Membership (``rows``/``size``/``thread_counts``) is always exact; the
+    heaps are a cache over it, valid for the scheduler epoch recorded in
+    ``heap_epoch`` and rebuilt on demand by :meth:`ensure`.
+    """
+
+    __slots__ = ("rows", "size", "thread_counts", "heap", "row_heaps", "heap_epoch")
+
+    def __init__(self) -> None:
+        # row -> requests holding that row (order inside a bucket carries no
+        # meaning; removal is swap-pop via ``request.buf_pos``).
+        self.rows: dict[int, list[MemoryRequest]] = {}
+        self.size = 0
+        # thread_id -> buffered request count (lets STFM find interference
+        # victims without scanning the bucket).
+        self.thread_counts: dict[int, int] = {}
+        # Lazy-deletion heaps of (priority_key, request) entries.  Keys end
+        # in the unique request_id, so entries never compare requests.
+        self.heap: list[tuple[tuple, MemoryRequest]] = []
+        self.row_heaps: dict[int, list[tuple[tuple, MemoryRequest]]] = {}
+        self.heap_epoch = -1  # epoch the heaps were built for (-1: never)
+
+    # -- membership --------------------------------------------------------
+    def add(self, request: MemoryRequest) -> None:
+        """Insert ``request`` into its row bucket (heaps unaffected; call
+        :meth:`push` once the scheduler has stamped its priority fields)."""
+        bucket = self.rows.get(request.row)
+        if bucket is None:
+            bucket = self.rows[request.row] = []
+        request.buf_pos = len(bucket)
+        bucket.append(request)
+        counts = self.thread_counts
+        counts[request.thread_id] = counts.get(request.thread_id, 0) + 1
+        self.size += 1
+
+    def remove(self, request: MemoryRequest) -> None:
+        """Swap-pop ``request`` out of its row bucket in O(1).
+
+        Heap entries are not touched: ``buf_pos`` drops to -1, which marks
+        them dead for lazy deletion at the next :meth:`peek`.
+        """
+        row = request.row
+        bucket = self.rows[row]
+        last = bucket.pop()
+        if last is not request:
+            bucket[request.buf_pos] = last
+            last.buf_pos = request.buf_pos
+        request.buf_pos = -1
+        if not bucket:
+            # The emptied bucket's heap holds only dead entries; drop both
+            # so a later request to the same row starts fresh.
+            del self.rows[row]
+            self.row_heaps.pop(row, None)
+        counts = self.thread_counts
+        remaining = counts[request.thread_id] - 1
+        if remaining:
+            counts[request.thread_id] = remaining
+        else:
+            del counts[request.thread_id]
+        self.size -= 1
+
+    def requests(self) -> Iterator[MemoryRequest]:
+        """Iterate every buffered request (row buckets, arbitrary order)."""
+        for bucket in self.rows.values():
+            yield from bucket
+
+    # -- heap maintenance --------------------------------------------------
+    def push(self, request: MemoryRequest, scheduler: "Scheduler") -> None:
+        """Index a newly buffered request under the scheduler's current
+        epoch.  If the heaps are already stale, skip — the next
+        :meth:`ensure` rebuilds them from membership anyway."""
+        if self.heap_epoch != scheduler.index_epoch:
+            return
+        entry = (scheduler.index_key(request), request)
+        heappush(self.heap, entry)
+        row_heap = self.row_heaps.get(request.row)
+        if row_heap is None:
+            row_heap = self.row_heaps[request.row] = []
+        heappush(row_heap, entry)
+
+    def ensure(self, scheduler: "Scheduler") -> None:
+        """Rebuild the heaps if the scheduler's epoch moved on."""
+        if self.heap_epoch == scheduler.index_epoch:
+            return
+        key = scheduler.index_key
+        row_heaps: dict[int, list[tuple[tuple, MemoryRequest]]] = {}
+        all_entries: list[tuple[tuple, MemoryRequest]] = []
+        for row, bucket in self.rows.items():
+            entries = [(key(r), r) for r in bucket]
+            all_entries.extend(entries)
+            heapify(entries)
+            row_heaps[row] = entries
+        heapify(all_entries)
+        self.heap = all_entries
+        self.row_heaps = row_heaps
+        self.heap_epoch = scheduler.index_epoch
+
+    # -- queries -----------------------------------------------------------
+    def peek(self) -> tuple[tuple, MemoryRequest] | None:
+        """Minimum-key live entry over the whole bank, or None if empty."""
+        heap = self.heap
+        while heap:
+            entry = heap[0]
+            if entry[1].buf_pos >= 0:
+                return entry
+            heappop(heap)
+        return None
+
+    def peek_row(self, row: int) -> tuple[tuple, MemoryRequest] | None:
+        """Minimum-key live entry among requests targeting ``row``."""
+        heap = self.row_heaps.get(row)
+        if heap is None:
+            return None
+        while heap:
+            entry = heap[0]
+            if entry[1].buf_pos >= 0:
+                return entry
+            heappop(heap)
+        return None
+
+
+class WriteFifo:
+    """Buffered writes of one (channel, bank), drained oldest-first.
+
+    A heap on ``(arrival_time, request_id)`` — the one total order every
+    policy uses for writes — so the drain candidate is a peek instead of a
+    ``min()`` scan.  ``buf_pos`` doubles as the liveness flag, mirroring
+    :class:`BankReadIndex`.
+    """
+
+    __slots__ = ("heap", "size")
+
+    def __init__(self) -> None:
+        self.heap: list[tuple[int, int, MemoryRequest]] = []
+        self.size = 0
+
+    def push(self, request: MemoryRequest) -> None:
+        request.buf_pos = 0
+        heappush(self.heap, (request.arrival_time, request.request_id, request))
+        self.size += 1
+
+    def remove(self, request: MemoryRequest) -> None:
+        request.buf_pos = -1
+        self.size -= 1
+
+    def peek(self) -> MemoryRequest:
+        heap = self.heap
+        while heap:
+            request = heap[0][2]
+            if request.buf_pos >= 0:
+                return request
+            heappop(heap)
+        raise IndexError("peek on an empty write buffer")
+
+    def requests(self) -> Iterator[MemoryRequest]:
+        """Iterate live buffered writes (arbitrary order)."""
+        return (entry[2] for entry in self.heap if entry[2].buf_pos >= 0)

@@ -9,18 +9,45 @@ times, or slowdown estimates.
 All policies in the paper are expressible as a priority over the per-bank
 candidate list plus bookkeeping in the hooks, mirroring the
 priority-register hardware implementation sketched in Section 6 of the
-paper.
+paper.  Each policy therefore has two equivalent arbitration paths:
+
+* :meth:`Scheduler.select` — the reference scan, ``min()`` over the
+  candidate list with the policy's full key;
+* :meth:`Scheduler.select_indexed` — the same decision answered from the
+  controller's incremental :class:`~repro.dram.rqindex.BankReadIndex`
+  (row buckets + epoch-cached priority heaps) without scanning.
+
+The index protocol a policy opts into by defining :meth:`index_key`:
+
+``index_key(request)``
+    The policy's priority key with the row-hit component *removed* (it is
+    resolved via the row buckets instead).  Must be immutable while
+    ``index_epoch`` stands still; bump the epoch whenever global priority
+    state invalidates buffered keys.
+``index_prefix_len``
+    How many leading key components outrank row-hit status in the
+    policy's scan key.  E.g. PAR-BS scans with ``(marked, priority,
+    row_hit, rank, age)`` → the index key is ``(marked, priority, rank,
+    age)`` with prefix length 2.
+``index_uses_row``
+    False for row-blind policies (FCFS) so the open row is never even
+    resolved.
+``refresh_index(now)``
+    Called before each indexed decision; a policy whose priority state
+    drifts continuously (STFM) re-derives it here and bumps the epoch
+    only when the drift actually changes buffered keys.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from ..dram.request import MemoryRequest
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..dram.controller import MemoryController
+    from ..dram.rqindex import BankReadIndex
 
 __all__ = ["Scheduler", "BankKey"]
 
@@ -33,8 +60,19 @@ class Scheduler(ABC):
 
     name: str = "base"
 
+    # -- incremental-index protocol (see module docstring) -------------------
+    # Policies that support index-based arbitration override ``index_key``;
+    # the controller falls back to scan arbitration when it is None, so
+    # custom scan-only schedulers keep working unchanged.
+    index_key: Callable[[MemoryRequest], tuple] | None = None
+    index_prefix_len: int = 0
+    index_uses_row: bool = True
+
     def __init__(self) -> None:
         self.controller: "MemoryController | None" = None
+        # Bumped whenever buffered requests' priority keys go stale; the
+        # index rebuilds a bank's heaps lazily when it observes a new epoch.
+        self.index_epoch = 0
 
     # -- lifecycle hooks ---------------------------------------------------
     def attach(self, controller: "MemoryController") -> None:
@@ -57,6 +95,44 @@ class Scheduler(ABC):
     ) -> MemoryRequest:
         """Pick the next request to service from ``candidates`` (non-empty,
         all targeting ``bank``)."""
+
+    def refresh_index(self, now: int) -> None:
+        """Re-derive epoch-scoped priority state before an indexed decision
+        (no-op for policies whose keys only change at explicit events)."""
+
+    def select_indexed(
+        self, index: "BankReadIndex", bank: BankKey, now: int,
+        open_row: int | None,
+    ) -> MemoryRequest:
+        """Answer :meth:`select` from the bank's index without scanning.
+
+        ``open_row`` is the bank's currently latched row (the controller
+        already has the bank object in hand at every arbitration, so it is
+        passed in rather than re-resolved here).
+
+        The policy's scan key factors as ``(prefix, row_hit, rest)`` with
+        ``len(prefix) == index_prefix_len`` and ``index_key == prefix +
+        rest``.  Because a lexicographic minimum also minimizes every key
+        prefix, the scan winner is:
+
+        * the best open-row request, if its prefix ties the bank-wide
+          best (row hits win the ``row_hit`` component on equal prefixes);
+        * the bank-wide best otherwise (which is then provably a miss —
+          were it a hit, the best hit's prefix would tie it).
+        """
+        self.refresh_index(now)
+        if index.heap_epoch != self.index_epoch:
+            index.ensure(self)
+        best = index.peek()
+        if open_row is None or not self.index_uses_row:
+            return best[1]
+        hit = index.peek_row(open_row)
+        if hit is None:
+            return best[1]
+        prefix = self.index_prefix_len
+        if prefix == 0 or hit[0][:prefix] == best[0][:prefix]:
+            return hit[1]
+        return best[1]
 
     # -- helpers shared by concrete policies ---------------------------------
     def _row_hit(self, request: MemoryRequest) -> bool:

@@ -20,6 +20,13 @@ class FcfsScheduler(Scheduler):
 
     name = "FCFS"
 
+    # Age is the whole priority; the open row never matters, so the index
+    # answers every decision from the bank-wide heap alone.
+    index_uses_row = False
+
+    def index_key(self, request: MemoryRequest) -> tuple:
+        return (request.arrival_time, request.request_id)
+
     def select(
         self, candidates: Sequence[MemoryRequest], bank: BankKey, now: int
     ) -> MemoryRequest:

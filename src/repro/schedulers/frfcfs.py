@@ -25,6 +25,14 @@ class FrFcfsScheduler(Scheduler):
 
     name = "FR-FCFS"
 
+    # Scan key is (row_miss, age): nothing outranks a row hit, so the
+    # prefix is empty — the open-row bucket's best always wins when the
+    # bucket is non-empty — and age keys never go stale (epoch never bumps).
+    index_prefix_len = 0
+
+    def index_key(self, request: MemoryRequest) -> tuple:
+        return (request.arrival_time, request.request_id)
+
     def select(
         self, candidates: Sequence[MemoryRequest], bank: BankKey, now: int
     ) -> MemoryRequest:

@@ -89,6 +89,31 @@ class NfqScheduler(Scheduler):
             self._row_open_since[bank] = now
 
     # -- arbitration -----------------------------------------------------------
+    def index_key(self, request: MemoryRequest) -> tuple:
+        # Virtual finish times are stamped at enqueue and never revised, so
+        # NFQ keys are static and the epoch never bumps.
+        return (request.virtual_finish, request.arrival_time, request.request_id)
+
+    def select_indexed(
+        self, index, bank: BankKey, now: int, open_row: int | None
+    ) -> MemoryRequest:
+        # The inversion-prevention rule is not a lexicographic key — an
+        # in-budget row streak diverts service to the open-row bucket
+        # wholesale — so the generic prefix comparison does not apply:
+        # either the whole decision comes from the open row's heap, or the
+        # row buffer is ignored entirely.
+        if index.heap_epoch != self.index_epoch:
+            index.ensure(self)
+        if open_row is not None:
+            hit = index.peek_row(open_row)
+            if hit is not None:
+                threshold = self._inversion_threshold
+                if threshold is None:
+                    threshold = self.controller.timing.tRAS
+                if now - self._row_open_since.get(bank, now) < threshold:
+                    return hit[1]
+        return index.peek()[1]
+
     def select(
         self, candidates: Sequence[MemoryRequest], bank: BankKey, now: int
     ) -> MemoryRequest:

@@ -73,6 +73,11 @@ class StfmScheduler(Scheduler):
         # policy's main arbitration cost.  Any state change invalidates it.
         self._slowdown_cache: dict[int, float] | None = None
         self._slowdown_cache_time = -1
+        # Epoch-scoped arbitration mode for the incremental index:
+        # (fairness mode active, thread being boosted).  Buffered index
+        # keys are built against this snapshot; ``refresh_index`` bumps the
+        # epoch only when a decision actually observes a different mode.
+        self._index_mode: tuple[bool, int] = (False, -1)
 
     # -- bookkeeping -----------------------------------------------------------
     def _advance(self, thread_id: int, now: int) -> None:
@@ -107,9 +112,13 @@ class StfmScheduler(Scheduler):
         outcome = request.service_outcome
         duration = outcome.bank_free - outcome.start if outcome is not None else 0
         key: BankKey = (request.channel, request.bank)
-        # Charge interference to every *other* thread waiting on this bank.
-        waiting = self.controller.buffered_reads_for_bank(key)
-        victims = {r.thread_id for r in waiting if r.thread_id != request.thread_id}
+        # Charge interference to every *other* thread waiting on this bank
+        # (the controller maintains per-bank thread counts, so no scan).
+        victims = [
+            tid
+            for tid in self.controller.buffered_read_threads(key)
+            if tid != request.thread_id
+        ]
         for tid in victims:
             self._t_interference[tid] += duration / self._bank_parallelism(tid)
         if victims:
@@ -154,6 +163,37 @@ class StfmScheduler(Scheduler):
         self._slowdown_cache = slowdowns
         self._slowdown_cache_time = now
         return slowdowns
+
+    def refresh_index(self, now: int) -> None:
+        # Slowdown estimates drift with every enqueue/completion, but they
+        # only invalidate buffered keys when the *decision* they imply —
+        # fair mode on/off, and which thread is slowest — changes.  Derive
+        # that decision exactly as ``select`` does and bump the epoch on a
+        # flip, so heaps rebuild per flip rather than per estimate update.
+        slowdowns = self._slowdowns(now)
+        fair = False
+        slowest = -1
+        if slowdowns:
+            worst = max(slowdowns.values())
+            best = min(slowdowns.values())
+            if best > 0 and worst / best > self.alpha:
+                fair = True
+                slowest = max(slowdowns, key=lambda t: (slowdowns[t], -t))
+        mode = (fair, slowest)
+        if mode != self._index_mode:
+            self._index_mode = mode
+            self.index_prefix_len = 1 if fair else 0
+            self.index_epoch += 1
+
+    def index_key(self, request: MemoryRequest) -> tuple:
+        fair, slowest = self._index_mode
+        if fair:
+            return (
+                request.thread_id != slowest,
+                request.arrival_time,
+                request.request_id,
+            )
+        return (request.arrival_time, request.request_id)
 
     def select(
         self, candidates: Sequence[MemoryRequest], bank: BankKey, now: int

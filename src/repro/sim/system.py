@@ -10,6 +10,7 @@ the paper's equal-instruction-slice methodology).
 
 from __future__ import annotations
 
+import heapq
 from typing import Callable
 
 from ..cache.hierarchy import CacheHierarchy
@@ -73,6 +74,11 @@ class System:
     repeat:
         Restart finished traces to keep contention steady until every core
         has completed at least once.
+    arbitration:
+        Controller arbitration mode: ``"index"`` (incremental arbitration
+        index, default), ``"scan"`` (reference ``min()``-over-candidates
+        path), or ``"verify"`` (both, asserting agreement at every
+        decision).  See :mod:`repro.dram.rqindex`.
     """
 
     def __init__(
@@ -82,6 +88,7 @@ class System:
         traces: list[Trace],
         use_caches: bool = False,
         repeat: bool = True,
+        arbitration: str = "index",
     ) -> None:
         if len(traces) != config.num_cores:
             raise ValueError(
@@ -90,7 +97,11 @@ class System:
         self.config = config
         self.queue = EventQueue()
         self.controller = MemoryController(
-            self.queue, config.dram, scheduler, num_threads=config.num_cores
+            self.queue,
+            config.dram,
+            scheduler,
+            num_threads=config.num_cores,
+            arbitration=arbitration,
         )
         self.mapping = config.dram.mapping()
         self.port = DramPort(self.controller, self.mapping)
@@ -131,19 +142,33 @@ class System:
 
         Returns the simulation time (cycles) at which the last core
         finished.  Raises if the event budget is exhausted first.
+
+        This loop is the simulator's outermost hot path, so it dispatches
+        events straight off the kernel's heap instead of going through
+        :meth:`EventQueue.step` (which documents the reference semantics);
+        ``schedule()`` already rejects past times, making step's
+        monotonicity check redundant here.
         """
         for core in self.cores:
             core.start()
+        queue = self.queue
+        heap = queue._heap
+        pop = heapq.heappop
+        num_cores = len(self.cores)
+        budget = max_events if max_events is not None else float("inf")
         events = 0
-        while self._finished < len(self.cores):
-            if not self.queue.step():
+        while self._finished < num_cores:
+            if not heap:
                 raise SimulationError(
                     "event queue drained before all cores finished"
                 )
+            when, _priority, _seq, callback = pop(heap)
+            queue.now = when
+            callback()
             events += 1
-            if max_events is not None and events > max_events:
+            if events > budget:
                 raise SimulationError(
                     f"exceeded event budget ({max_events}); simulation stuck?"
                 )
         self.events_processed = events
-        return self.queue.now
+        return queue.now

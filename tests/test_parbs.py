@@ -7,6 +7,7 @@ from repro.core.batcher import OPPORTUNISTIC
 from repro.core.parbs import ParBsScheduler
 from repro.dram.controller import MemoryController
 from repro.dram.request import MemoryRequest
+from repro.dram.rqindex import BankReadIndex
 from repro.events import EventQueue
 
 
@@ -109,12 +110,21 @@ def test_priorities_stamped_on_requests():
     assert r.priority_level == 8
 
 
+def bank_index(*requests):
+    index = BankReadIndex()
+    for r in requests:
+        index.add(r)
+    return index
+
+
 def test_ranking_computed_over_full_backlog():
     queue, controller, s = setup()
     # Thread 0 spreads over banks; thread 1 piles into one bank.
-    controller._reads[(0, 0)] = [req(thread=0, bank=0, row=0)]
-    controller._reads[(0, 1)] = [req(thread=0, bank=1, row=1)]
-    controller._reads[(0, 5)] = [req(thread=1, bank=5, row=i) for i in range(3)]
+    controller._reads[(0, 0)] = bank_index(req(thread=0, bank=0, row=0))
+    controller._reads[(0, 1)] = bank_index(req(thread=0, bank=1, row=1))
+    controller._reads[(0, 5)] = bank_index(
+        *[req(thread=1, bank=5, row=i) for i in range(3)]
+    )
     s._on_new_batch([])
     assert sorted(s._ranks) == [0, 1, 2, 3]
     assert s.rank_of(0) < s.rank_of(1)  # lower max-bank-load ranks higher

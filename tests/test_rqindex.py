@@ -1,0 +1,300 @@
+"""Tests for the incremental arbitration index (:mod:`repro.dram.rqindex`).
+
+Three layers:
+
+* unit tests for :class:`BankReadIndex` / :class:`WriteFifo` mechanics
+  (membership, lazy deletion, the epoch protocol);
+* controller-level tests for the wake bookkeeping and the ``verify``
+  arbitration mode's divergence detection;
+* the golden equivalence harness: every scheduler the paper evaluates
+  (plus the PAR-BS within-batch/batching ablations) run end-to-end on a
+  seeded 4-core workload under scan and index arbitration, asserting the
+  two produce bit-identical simulations.
+"""
+
+import pytest
+
+from repro.config import DramConfig, baseline_system
+from repro.core.parbs import ParBsScheduler
+from repro.dram.controller import MemoryController
+from repro.dram.request import MemoryRequest, RequestType
+from repro.dram.rqindex import BankReadIndex, WriteFifo
+from repro.events import EventQueue, SimulationError
+from repro.schedulers.frfcfs import FrFcfsScheduler
+from repro.sim.factory import make_scheduler
+from repro.sim.runner import ExperimentRunner
+from repro.sim.system import System
+
+
+def read(thread=0, bank=0, row=0, arrival=0):
+    r = MemoryRequest(thread_id=thread, address=0, channel=0, bank=bank, row=row)
+    r.arrival_time = arrival
+    return r
+
+
+def write(thread=0, bank=0, row=0, arrival=0):
+    r = MemoryRequest(
+        thread_id=thread,
+        address=0,
+        channel=0,
+        bank=bank,
+        row=row,
+        type=RequestType.WRITE,
+    )
+    r.arrival_time = arrival
+    return r
+
+
+class ArrivalKeys:
+    """Minimal stand-in for a scheduler in index unit tests."""
+
+    index_epoch = 0
+
+    @staticmethod
+    def index_key(r):
+        return (r.arrival_time, r.request_id)
+
+
+# --------------------------------------------------------- BankReadIndex
+
+
+def test_membership_tracks_rows_threads_and_size():
+    index = BankReadIndex()
+    a, b, c = read(thread=0, row=1), read(thread=1, row=1), read(thread=0, row=2)
+    for r in (a, b, c):
+        index.add(r)
+    assert index.size == 3
+    assert sorted(index.rows) == [1, 2]
+    assert index.thread_counts == {0: 2, 1: 1}
+    assert sorted(r.request_id for r in index.requests()) == sorted(
+        r.request_id for r in (a, b, c)
+    )
+
+    index.remove(a)  # swap-pop inside row 1's bucket
+    assert index.size == 2
+    assert index.rows[1] == [b]
+    assert b.buf_pos == 0 and a.buf_pos == -1
+    assert index.thread_counts == {0: 1, 1: 1}
+
+    index.remove(c)  # last request of row 2: bucket disappears
+    assert sorted(index.rows) == [1]
+    assert index.thread_counts == {1: 1}
+
+
+def test_peek_returns_minimum_live_entry_and_lazily_deletes():
+    scheduler = ArrivalKeys()
+    index = BankReadIndex()
+    old = read(row=1, arrival=0)
+    new = read(row=2, arrival=10)
+    index.add(old)
+    index.add(new)
+    index.ensure(scheduler)
+    assert index.peek()[1] is old
+    assert index.peek_row(2)[1] is new
+    index.remove(old)
+    # The dead heap entry is skipped (and popped) at the next peek.
+    assert index.peek()[1] is new
+    assert index.peek_row(1) is None
+    assert len(index.heap) == 1
+
+
+def test_push_keeps_fresh_heaps_incremental():
+    scheduler = ArrivalKeys()
+    index = BankReadIndex()
+    index.add(read(row=1, arrival=5))
+    index.ensure(scheduler)
+    urgent = read(row=1, arrival=1)
+    index.add(urgent)
+    index.push(urgent, scheduler)
+    assert index.peek()[1] is urgent
+    assert index.peek_row(1)[1] is urgent
+
+
+def test_stale_push_is_skipped_and_ensure_rebuilds():
+    scheduler = ArrivalKeys()
+    index = BankReadIndex()
+    index.add(read(row=1, arrival=5))
+    index.ensure(scheduler)
+
+    scheduler.index_epoch = 1  # global priority state changed
+    late = read(row=1, arrival=0)
+    index.add(late)
+    index.push(late, scheduler)
+    assert len(index.heap) == 1  # push skipped: heaps are stale anyway
+
+    index.ensure(scheduler)
+    assert index.heap_epoch == 1
+    assert len(index.heap) == 2
+    assert index.peek()[1] is late
+
+
+def test_emptied_row_bucket_drops_its_heap():
+    scheduler = ArrivalKeys()
+    index = BankReadIndex()
+    r = read(row=7)
+    index.add(r)
+    index.ensure(scheduler)
+    assert 7 in index.row_heaps
+    index.remove(r)
+    assert 7 not in index.row_heaps
+    # A later request to the same row starts a fresh bucket and heap.
+    fresh = read(row=7, arrival=99)
+    index.add(fresh)
+    index.push(fresh, scheduler)
+    assert index.peek_row(7)[1] is fresh
+
+
+# ------------------------------------------------------------- WriteFifo
+
+
+def test_write_fifo_drains_oldest_first_with_lazy_deletion():
+    fifo = WriteFifo()
+    first = write(arrival=0)
+    second = write(arrival=5)
+    fifo.push(second)
+    fifo.push(first)
+    assert fifo.size == 2
+    assert fifo.peek() is first
+    fifo.remove(first)
+    assert fifo.peek() is second
+    assert list(fifo.requests()) == [second]
+    fifo.remove(second)
+    assert fifo.size == 0
+    with pytest.raises(IndexError):
+        fifo.peek()
+
+
+# ------------------------------------------------- controller wake logic
+
+
+def make_controller(scheduler=None, **kwargs):
+    queue = EventQueue()
+    controller = MemoryController(
+        queue, DramConfig(), scheduler or FrFcfsScheduler(), 4, **kwargs
+    )
+    return queue, controller
+
+
+def test_superseded_wake_neither_issues_nor_leaks():
+    queue, controller = make_controller()
+    key = (0, 0)
+    r = read(row=3)
+    controller.enqueue(r)  # schedules the real wake at t=0
+    # Inject a duplicate wake event for the same bank, imitating a stale
+    # leftover from a superseded reschedule.
+    queue.schedule(0, lambda: controller._wake(key), priority=1)
+    queue.run()
+    assert controller.channels[0].banks[0].accesses == 1  # no double issue
+    assert controller._bank_wake == {}  # no stale bookkeeping left behind
+
+
+def test_earlier_wake_supersedes_later_one():
+    queue, controller = make_controller()
+    key = (0, 0)
+    controller._schedule_wake(key, 10)
+    controller._schedule_wake(key, 5)
+    assert controller._bank_wake[key] == 5
+    queue.run()  # both events fire; the t=10 leftover must be a no-op
+    assert controller._bank_wake == {}
+
+
+# ------------------------------------------------------------ verify mode
+
+
+class LyingFrFcfs(FrFcfsScheduler):
+    """Scan policy contradicting its own index key: newest-first."""
+
+    def select(self, candidates, bank, now):
+        return max(candidates, key=lambda r: r.request_id)
+
+
+def test_verify_mode_detects_divergence():
+    queue, controller = make_controller(
+        scheduler=LyingFrFcfs(), arbitration="verify"
+    )
+    controller.enqueue(read(row=1))
+    controller.enqueue(read(row=2))
+    with pytest.raises(SimulationError, match="divergence"):
+        queue.run()
+
+
+def test_verify_mode_passes_for_consistent_scheduler():
+    queue, controller = make_controller(arbitration="verify")
+    done = []
+    for row in (1, 2, 1, 3):
+        r = read(row=row)
+        r.on_complete = lambda _r: done.append(queue.now)
+        controller.enqueue(r)
+    queue.run()
+    assert len(done) == 4
+
+
+# ------------------------------------------------- golden equivalence
+
+
+WORKLOAD = ("libquantum", "mcf", "GemsFDTD", "xalancbmk")
+INSTRUCTIONS = 5_000
+
+VARIANTS = {
+    "FCFS": lambda: make_scheduler("FCFS", 4),
+    "FR-FCFS": lambda: make_scheduler("FR-FCFS", 4),
+    "NFQ": lambda: make_scheduler("NFQ", 4),
+    "STFM": lambda: make_scheduler("STFM", 4),
+    "PAR-BS": lambda: make_scheduler("PAR-BS", 4),
+    "PAR-BS-within-frfcfs": lambda: ParBsScheduler(4, within_batch="frfcfs"),
+    "PAR-BS-within-fcfs": lambda: ParBsScheduler(4, within_batch="fcfs"),
+    "PAR-BS-eslot": lambda: ParBsScheduler(4, batching="eslot"),
+    "PAR-BS-nocap": lambda: ParBsScheduler(4, marking_cap=None),
+}
+
+
+def run_variant(make, arbitration):
+    config = baseline_system(len(WORKLOAD))
+    runner = ExperimentRunner(
+        config, instructions=INSTRUCTIONS, seed=0, cache_dir=None
+    )
+    traces = [runner.trace_for(b) for b in WORKLOAD]
+    system = System(config, make(), traces, arbitration=arbitration)
+    system.run()
+    return snapshot(system)
+
+
+def snapshot(system):
+    """Everything observable: timing, event count, per-thread memory and
+    core statistics — any arbitration difference shows up in here."""
+    state = {
+        "cycles": system.queue.now,
+        "events": system.events_processed,
+    }
+    for thread_id, s in sorted(system.controller.thread_stats.items()):
+        state[thread_id] = (
+            s.reads,
+            s.writes,
+            s.row_hits,
+            s.row_conflicts,
+            s.latency_sum,
+            s.latency_max,
+            s.blp_integral,
+            s.busy_time,
+        )
+    for core in system.cores:
+        state[f"core{core.thread_id}"] = (
+            core.finish_time,
+            core.stall_cycles,
+            core.loads_issued,
+            core.stores_issued,
+            core.instructions_retired,
+        )
+    return state
+
+
+@pytest.mark.parametrize("name", sorted(VARIANTS))
+def test_index_arbitration_matches_scan_bit_for_bit(name):
+    make = VARIANTS[name]
+    assert run_variant(make, "index") == run_variant(make, "scan")
+
+
+def test_verify_mode_full_run_parbs():
+    """Both paths live side by side for a whole PAR-BS simulation."""
+    make = VARIANTS["PAR-BS"]
+    assert run_variant(make, "verify") == run_variant(make, "scan")
