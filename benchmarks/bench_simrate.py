@@ -175,6 +175,37 @@ def test_simrate_smoke() -> None:
     assert result["sim_cycles_per_sec"] > 0
 
 
+def test_probe_overhead_within_gate() -> None:
+    """The disabled observability layer must cost (almost) nothing.
+
+    Every instrumentation site guards on a ``None`` probe, so with tracing
+    off the simulation must do exactly the baseline's work (deterministic
+    event/cycle counts unchanged) at a throughput inside the committed
+    regression gate.  Best-of-3 to shake scheduler-noise out of the wall
+    clock, same discipline as ``--check``.
+    """
+    baseline = json.loads(BASELINE_PATH.read_text())
+    ref = baseline["schedulers"]["PAR-BS"]
+    instructions = baseline["instructions_per_thread"]
+    best: dict | None = None
+    for _ in range(3):
+        result = measure("PAR-BS", instructions, baseline["seed"])
+        if best is None or result["events_per_sec"] > best["events_per_sec"]:
+            best = result
+    # Probes off ⇒ behaviour bit-identical to the committed baseline.
+    assert best["events"] == ref["events"], (
+        "event count drifted with tracing disabled — probes are not "
+        "zero-overhead no-ops"
+    )
+    assert best["sim_cycles"] == ref["sim_cycles"]
+    # And throughput stays inside the standard 20% regression gate.
+    floor = ref["events_per_sec"] * 0.8
+    assert best["events_per_sec"] >= floor, (
+        f"{best['events_per_sec']:.0f} events/sec under tracing-disabled "
+        f"floor {floor:.0f}"
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--scheduler", default="PAR-BS")

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Trace one PAR-BS run and walk through a single batch's lifecycle.
+
+Runs the paper's Case Study I workload under PAR-BS with the full trace
+bus enabled (in-memory ring buffer plus a JSONL file), then:
+
+* prints a human-readable walkthrough of one batch — its ``batch.formed``
+  event with per-thread marked counts and the Max-Total ranking, the DRAM
+  commands issued while it was the active batch, and the matching
+  ``batch.completed`` event;
+* writes the raw event stream as JSONL and as a Chrome-trace-event JSON
+  that loads directly in https://ui.perfetto.dev (or chrome://tracing).
+
+Usage:
+    PYTHONPATH=src python examples/trace_batch_lifecycle.py \
+        [--out traces/] [--instructions 20000] [--batch 3]
+"""
+
+import argparse
+from pathlib import Path
+
+from repro.config import baseline_system
+from repro.obs import JsonlSink, RingBufferSink, Telemetry, Tracer, write_chrome_trace
+from repro.sim.factory import make_scheduler
+from repro.sim.runner import ExperimentRunner
+from repro.sim.system import System
+
+WORKLOAD = ["libquantum", "mcf", "GemsFDTD", "xalancbmk"]
+
+
+def run_traced(instructions: int, out_dir: Path):
+    """Run PAR-BS on the Case Study I mix with every probe enabled."""
+    out_dir.mkdir(parents=True, exist_ok=True)
+    config = baseline_system(len(WORKLOAD))
+    runner = ExperimentRunner(
+        config, instructions=instructions, seed=0, cache_dir=None
+    )
+    traces = [runner.trace_for(b) for b in WORKLOAD]
+
+    ring = RingBufferSink()
+    jsonl_path = out_dir / "parbs-batch-lifecycle.jsonl"
+    tracer = Tracer([ring, JsonlSink(jsonl_path)])
+    telemetry = Telemetry(1000, probe=tracer.probe("sample"))
+    scheduler = make_scheduler("PAR-BS", len(WORKLOAD))
+    system = System(
+        config, scheduler, traces, tracer=tracer, telemetry=telemetry
+    )
+    try:
+        cycles = system.run()
+    finally:
+        tracer.close()
+    return ring.events, cycles, jsonl_path, telemetry
+
+
+def walkthrough(events: list[dict], batch_index: int) -> None:
+    """Print the lifecycle of one batch from the recorded event stream."""
+    formed = next(
+        (
+            e
+            for e in events
+            if e["ev"] == "batch.formed" and e["index"] == batch_index
+        ),
+        None,
+    )
+    if formed is None:
+        indices = [e["index"] for e in events if e["ev"] == "batch.formed"]
+        raise SystemExit(
+            f"no batch #{batch_index}; run formed batches {indices[:1]}.."
+            f"{indices[-1:]}"
+        )
+    completed = next(
+        e
+        for e in events
+        if e["ev"] == "batch.completed" and e["index"] == batch_index
+    )
+
+    print(f"--- batch #{batch_index} ---")
+    print(f"formed at cycle {formed['t']} with {formed['marked']} marked requests")
+    print(f"  per-thread marked counts : {formed['per_thread']}")
+    print(f"  Max-Total thread ranking : {formed['ranks']}")
+    print(f"  per-thread read backlog  : {formed['backlog']}")
+
+    # Everything the memory system did while this batch was active.
+    window = [e for e in events if formed["t"] < e["t"] <= completed["t"]]
+    issues = [e for e in window if e["ev"] == "request.issue"]
+    cmds = [e for e in window if e["ev"] == "dram.cmd"]
+    hits = sum(1 for e in cmds if e.get("row_hit"))
+    cas = sum(1 for e in cmds if e["cmd"] in ("RD", "WR"))
+    print(f"\nwhile active ({completed['t'] - formed['t']} cycles):")
+    print(f"  {len(issues)} requests issued, {len(cmds)} DRAM commands")
+    print(f"  row-hit rate over CAS commands: {hits}/{cas}")
+    print("\nfirst requests serviced after formation:")
+    for event in issues[:8]:
+        print(
+            f"  t={event['t']:>8}  req={event['req']:<5} thread={event['thread']} "
+            f"ch={event['ch']} bank={event['bank']} row={event['row']} "
+            f"({event['result']}, queued {event['queued']} cycles)"
+        )
+
+    print(
+        f"\ncompleted at cycle {completed['t']} "
+        f"after {completed['duration']} cycles"
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", type=Path, default=Path("traces"),
+        help="directory for the JSONL and Perfetto output (default: traces/)",
+    )
+    parser.add_argument("--instructions", type=int, default=20_000)
+    parser.add_argument(
+        "--batch", type=int, default=3, help="batch index to walk through"
+    )
+    args = parser.parse_args()
+
+    print(f"workload: {WORKLOAD} ({args.instructions} instructions/thread)\n")
+    events, cycles, jsonl_path, telemetry = run_traced(
+        args.instructions, args.out
+    )
+    walkthrough(events, args.batch)
+
+    perfetto_path = write_chrome_trace(
+        args.out / "parbs-batch-lifecycle.perfetto.json", events
+    )
+    batches = sum(1 for e in events if e["ev"] == "batch.formed")
+    print(f"\n{len(events)} events over {cycles} simulated cycles, {batches} batches")
+    for thread_id, hist in sorted(telemetry.histograms.items()):
+        digest = hist.summary()
+        print(
+            f"  thread {thread_id} ({WORKLOAD[thread_id]:<12}) latency "
+            f"p50={digest['p50']:<6g} p95={digest['p95']:<6g} "
+            f"p99={digest['p99']:<6g} max={digest['max']:g}"
+        )
+    print(f"\nwrote {jsonl_path}")
+    print(f"wrote {perfetto_path}  (open in https://ui.perfetto.dev)")
+
+
+if __name__ == "__main__":
+    main()

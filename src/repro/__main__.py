@@ -15,6 +15,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import logging
 import os
 import sys
 
@@ -73,6 +74,40 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker processes for independent simulations "
         "(default: REPRO_JOBS or 1)",
     )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="log progress (once: INFO — pool fan-out, cache traffic; "
+        "twice: DEBUG)",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="DIR",
+        default=None,
+        help="write per-simulation JSONL event traces into DIR "
+        "(exports REPRO_TRACE)",
+    )
+    parser.add_argument(
+        "--trace-events",
+        metavar="CATS",
+        default=None,
+        help="comma-separated event categories to trace "
+        "(request,dram,batch,sched,core,sample; default: all)",
+    )
+    parser.add_argument(
+        "--sample-interval",
+        type=int,
+        metavar="CYCLES",
+        default=None,
+        help="periodic telemetry sample interval in cycles",
+    )
+    parser.add_argument(
+        "--perfetto",
+        action="store_true",
+        help="also export each trace as Perfetto-loadable Chrome-trace JSON",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list all experiments")
@@ -100,12 +135,44 @@ def _build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     instructions = args.instructions
+    if args.verbose:
+        # Make the library's logger.info lines (pool fan-out, cache hits,
+        # cache report) visible; -vv turns on DEBUG.
+        logging.basicConfig(
+            level=logging.DEBUG if args.verbose > 1 else logging.INFO,
+            format="%(levelname)s %(name)s: %(message)s",
+        )
     if args.jobs is not None:
         # Every runner (including ones constructed deep inside experiment
         # helpers) resolves its default worker count from REPRO_JOBS, so
         # exporting it here reaches all subcommands uniformly.
         os.environ["REPRO_JOBS"] = str(max(1, args.jobs))
+    # Observability flags export the REPRO_TRACE* environment variables so
+    # every runner constructed inside experiment helpers — and every pool
+    # worker — resolves the same TraceConfig (the --jobs/REPRO_JOBS pattern).
+    if args.trace is not None:
+        os.environ["REPRO_TRACE"] = args.trace
+    if args.trace_events is not None:
+        os.environ["REPRO_TRACE_EVENTS"] = args.trace_events
+    if args.sample_interval is not None:
+        os.environ["REPRO_SAMPLE_INTERVAL"] = str(args.sample_interval)
+    if args.perfetto:
+        os.environ["REPRO_TRACE_PERFETTO"] = "1"
 
+    status = _dispatch(args, instructions)
+    if args.command != "list":
+        from .sim.diskcache import GLOBAL_STATS
+
+        print(
+            f"[cache] {GLOBAL_STATS['hits']} hits, "
+            f"{GLOBAL_STATS['misses']} misses, "
+            f"{GLOBAL_STATS['writes']} writes",
+            file=sys.stderr,
+        )
+    return status
+
+
+def _dispatch(args: argparse.Namespace, instructions: int | None) -> int:
     if args.command == "list":
         print(_EXPERIMENTS)
         return 0

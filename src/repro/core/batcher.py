@@ -67,9 +67,12 @@ class Batcher:
         self.marking_cap = NO_CAP if marking_cap is None else marking_cap
         self.priorities = dict(priorities or {})
         self.controller: "MemoryController | None" = None
-        self.on_new_batch: Callable[[list[MemoryRequest]], None] = lambda marked: None
+        self.on_new_batch: Callable[[list[MemoryRequest], int], None] = (
+            lambda marked, now: None
+        )
 
         self.total_marked = 0
+        self.marked_cum = 0  # cumulative requests ever marked
         self.batch_index = 0
         self.batches_formed = 0
         self._batch_start_time = 0
@@ -77,10 +80,14 @@ class Batcher:
         # Marks used per (thread, channel, bank) in the current batch
         # (needed by eslot batching and useful for assertions).
         self._marks_used: dict[tuple[int, int, int], int] = defaultdict(int)
+        # ``batch``-category trace probe; bound in :meth:`attach`.
+        self._p_batch = None
 
     # -- wiring ------------------------------------------------------------
     def attach(self, controller: "MemoryController") -> None:
         self.controller = controller
+        tracer = getattr(controller, "tracer", None)
+        self._p_batch = tracer.probe("batch") if tracer is not None else None
 
     def priority_of(self, thread_id: int) -> int:
         return self.priorities.get(thread_id, 1)
@@ -123,9 +130,10 @@ class Batcher:
                     self._marks_used[(thread_id, channel, bank)] += 1
         if marked:
             self.total_marked += len(marked)
+            self.marked_cum += len(marked)
             self.batches_formed += 1
             self._batch_start_time = now
-        self.on_new_batch(marked)
+        self.on_new_batch(marked, now)
 
     # -- events from the scheduler ------------------------------------------------
     def request_arrived(self, request: MemoryRequest, now: int) -> None:
@@ -140,7 +148,14 @@ class Batcher:
         request.marked = False
         self.total_marked -= 1
         if self.total_marked == 0:
-            self.batch_duration_sum += now - self._batch_start_time
+            duration = now - self._batch_start_time
+            self.batch_duration_sum += duration
+            probe = self._p_batch
+            if probe is not None:
+                probe.emit(
+                    now, "batch.completed",
+                    index=self.batch_index, duration=duration,
+                )
             self._batch_finished(now)
 
     def _batch_finished(self, now: int) -> None:
@@ -193,7 +208,14 @@ class StaticBatcher(Batcher):
         request.marked = False
         self.total_marked -= 1
         if self.total_marked == 0:
-            self.batch_duration_sum += now - self._batch_start_time
+            duration = now - self._batch_start_time
+            self.batch_duration_sum += duration
+            probe = self._p_batch
+            if probe is not None:
+                probe.emit(
+                    now, "batch.completed",
+                    index=self.batch_index, duration=duration,
+                )
         self.tick(now)
 
     def _batch_finished(self, now: int) -> None:  # pragma: no cover - unused
@@ -274,6 +296,7 @@ class EslotBatcher(Batcher):
         ):
             request.marked = True
             self.total_marked += 1
+            self.marked_cum += 1
             self._marks_used[key] += 1
 
     def _thread_markable_current(self, thread_id: int) -> bool:

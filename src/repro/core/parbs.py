@@ -143,18 +143,36 @@ class ParBsScheduler(Scheduler):
 
         queue.schedule_in(period, tick, priority=3)
 
-    def _on_new_batch(self, marked: list[MemoryRequest]) -> None:
+    def _on_new_batch(self, marked: list[MemoryRequest], now: int = 0) -> None:
         # A batch boundary rewrites marks (and possibly ranks) across the
         # whole buffer: every cached index key is stale.
-        self.index_epoch += 1
-        if self.ranking is None:
-            return
-        # Per the paper's hardware sketch (Section 6), the Max-Total
-        # ranking registers count all buffered requests, so the ranking is
-        # computed over every thread's full backlog; threads with little or
-        # no backlog rank highest (shortest job first).
-        backlog = list(self.controller.buffered_reads())
-        self._ranks = self.ranking.rank(backlog, threads=range(self.num_threads))
+        self.bump_index_epoch(now)
+        if self.ranking is not None:
+            # Per the paper's hardware sketch (Section 6), the Max-Total
+            # ranking registers count all buffered requests, so the ranking
+            # is computed over every thread's full backlog; threads with
+            # little or no backlog rank highest (shortest job first).
+            backlog = list(self.controller.buffered_reads())
+            self._ranks = self.ranking.rank(backlog, threads=range(self.num_threads))
+        probe = self.batcher._p_batch
+        if probe is not None and marked:
+            per_thread: dict[int, int] = {}
+            for request in marked:
+                tid = request.thread_id
+                per_thread[tid] = per_thread.get(tid, 0) + 1
+            controller = self.controller
+            probe.emit(
+                now,
+                "batch.formed",
+                index=self.batcher.batch_index,
+                marked=len(marked),
+                per_thread=dict(sorted(per_thread.items())),
+                ranks=dict(sorted(self._ranks.items())),
+                backlog={
+                    tid: controller.pending_reads(tid)
+                    for tid in sorted(per_thread)
+                },
+            )
 
     # -- lifecycle hooks ---------------------------------------------------------
     def on_enqueue(self, request: MemoryRequest, now: int) -> None:

@@ -97,6 +97,7 @@ class Core:
         memory: MemoryPort,
         config: CoreConfig | None = None,
         repeat: bool = True,
+        probe=None,
     ) -> None:
         self.thread_id = thread_id
         self.trace = trace
@@ -104,6 +105,10 @@ class Core:
         self.memory = memory
         self.config = config or CoreConfig()
         self.repeat = repeat
+        # Optional ``core``-category trace probe emitting stall/unstall
+        # edges (None when tracing is off — the hot loop guards on it).
+        self._probe = probe
+        self._stalled = False
 
         # Progress pointers, in instructions.
         self._t = 0  # time of last state sync
@@ -194,6 +199,7 @@ class Core:
         # below, so they live in locals too.
         pending = self._pending
         end_index = self._trace_end_index
+        probe = self._probe
         t = self._t
         while t < now:
             r_limit = pending[0].index - 1 if pending else end_index
@@ -242,6 +248,12 @@ class Core:
             # Stall accounting: commit blocked by an incomplete DRAM load.
             if pending and retired0 >= r_limit:
                 self.stall_cycles += dt
+                if probe is not None and not self._stalled:
+                    self._stalled = True
+                    probe.emit(t, "core.stall", thread=self.thread_id)
+            elif probe is not None and self._stalled:
+                self._stalled = False
+                probe.emit(t, "core.unstall", thread=self.thread_id)
 
             t += dt
             self._t = t

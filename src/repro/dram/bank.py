@@ -20,13 +20,23 @@ __all__ = ["Bank", "AccessOutcome"]
 
 @dataclass(frozen=True)
 class AccessOutcome:
-    """Timeline of one serviced request."""
+    """Timeline of one serviced request.
+
+    The per-command timestamps (``precharge_at`` / ``activate_at`` /
+    ``cas_at``) expose the exact DDR command sequence the bank laid out, so
+    the observability layer can emit PRE/ACT/RD/WR trace events without
+    re-deriving timing constraints; they are ``None`` when the command was
+    not needed for this access (e.g. no precharge on a row hit).
+    """
 
     start: int  # first command issue time
     data_start: int  # first beat on the data bus
     completion: int  # last beat on the data bus (request done)
     bank_free: int  # bank may start its next access
     row_result: str  # "hit" | "closed" | "conflict"
+    precharge_at: int | None = None  # PRE command time (conflicts only)
+    activate_at: int | None = None  # ACT command time (misses only)
+    cas_at: int = 0  # RD/WR (CAS) command time
 
 
 class Bank:
@@ -82,6 +92,8 @@ class Bank:
         )
 
         cursor = start
+        precharge_at: int | None = None
+        activate_at: int | None = None
         if row_result == "conflict":
             # Precharge may not violate tRAS (row open time) or tWR.
             bound = self._activate_time + t.tRAS
@@ -90,7 +102,9 @@ class Bank:
             bound = self._write_recovery_until
             if bound > cursor:
                 cursor = bound
+            precharge_at = cursor
             cursor += t.tRP  # precharge done
+            activate_at = cursor
             cursor += t.tRCD  # activate done
             self._activate_time = cursor - t.tRCD
             self.row_conflicts += 1
@@ -99,6 +113,7 @@ class Bank:
             if bound > cursor:
                 cursor = bound
             self._activate_time = cursor
+            activate_at = cursor
             cursor += t.tRCD
         else:
             self.row_hits += 1
@@ -120,6 +135,9 @@ class Bank:
             completion=completion,
             bank_free=completion,
             row_result=row_result,
+            precharge_at=precharge_at,
+            activate_at=activate_at,
+            cas_at=cas_done - t.tCL,
         )
 
     @property

@@ -21,6 +21,9 @@ class DataBus:
         self.free_at: int = 0
         self.busy_cycles: int = 0
         self.transfers: int = 0
+        # Cycles bursts were delayed behind earlier transfers — the direct
+        # measure of data-bus contention, surfaced by the telemetry layer.
+        self.wait_cycles: int = 0
 
     def reserve(self, earliest: int) -> int:
         """Reserve a burst slot starting no earlier than ``earliest``.
@@ -33,6 +36,7 @@ class DataBus:
         tbus = self.timing.tBUS
         self.free_at = start + tbus
         self.busy_cycles += tbus
+        self.wait_cycles += start - earliest
         self.transfers += 1
         return start
 

@@ -42,6 +42,8 @@ from .rqindex import BankReadIndex, WriteFifo
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..config import DramConfig
+    from ..obs.sampler import Telemetry
+    from ..obs.trace import Tracer
     from ..schedulers.base import Scheduler
     from .bank import Bank
 
@@ -106,10 +108,27 @@ class MemoryController:
         scheduler: "Scheduler",
         num_threads: int,
         arbitration: str = "index",
+        tracer: "Tracer | None" = None,
+        telemetry: "Telemetry | None" = None,
     ) -> None:
         if arbitration not in ("index", "scan", "verify"):
             raise ValueError(f"unknown arbitration mode {arbitration!r}")
         self.queue = queue
+        # Observability: per-category probes resolve to None when tracing
+        # is off (or the category is filtered), so every instrumented hot
+        # path below guards with a single local `is not None` check.
+        self.tracer = tracer
+        self.telemetry = telemetry
+        if tracer is not None:
+            self._p_req = tracer.probe("request")
+            self._p_cmd = tracer.probe("dram")
+        else:
+            self._p_req = None
+            self._p_cmd = None
+        # Request ids are allocated from a process-global counter; trace
+        # events carry ids relative to the run's first request so streams
+        # are identical across worker processes (determinism contract).
+        self._req_base: int | None = None
         self.config = config
         self.scheduler = scheduler
         self.num_threads = num_threads
@@ -161,6 +180,24 @@ class MemoryController:
         if thread_id is None:
             return self.read_occupancy
         return self._reads_per_thread.get(thread_id, 0)
+
+    @property
+    def write_occupancy(self) -> int:
+        """Number of buffered (not yet issued) write requests."""
+        return self._write_occupancy
+
+    @property
+    def draining_writes(self) -> bool:
+        """Whether the controller is currently in write-drain mode."""
+        return self._draining_writes
+
+    def _rid(self, request: MemoryRequest) -> int:
+        """Run-relative request id used in trace events (deterministic
+        across processes; the raw global id is not)."""
+        base = self._req_base
+        if base is None:
+            base = self._req_base = request.request_id
+        return request.request_id - base
 
     def stats_for(self, thread_id: int) -> ThreadMemStats:
         """Statistics for ``thread_id``; an explicit zeroed record when the
@@ -214,6 +251,18 @@ class MemoryController:
         now = self.queue.now
         request.arrival_time = now
         key = (request.channel, request.bank)
+        probe = self._p_req
+        if probe is not None:
+            probe.emit(
+                now,
+                "request.enqueue",
+                req=self._rid(request),
+                thread=request.thread_id,
+                ch=request.channel,
+                bank=request.bank,
+                row=request.row,
+                rw="R" if request.is_read else "W",
+            )
         if request.is_read:
             index = self._reads.get(key)
             if index is None:
@@ -237,8 +286,16 @@ class MemoryController:
             fifo.push(request)
             self._write_occupancy += 1
             self.total_writes += 1
-            if self._write_occupancy > self.config.write_drain_high:
+            if (
+                self._write_occupancy > self.config.write_drain_high
+                and not self._draining_writes
+            ):
                 self._draining_writes = True
+                cmd_probe = self._p_cmd
+                if cmd_probe is not None:
+                    cmd_probe.emit(
+                        now, "dram.drain", on=1, writes=self._write_occupancy
+                    )
             self.scheduler.on_enqueue(request, now)
         self._schedule_wake(key, now)
 
@@ -339,11 +396,35 @@ class MemoryController:
         else:
             self._writes[key].remove(request)
             self._write_occupancy -= 1
-            if self._write_occupancy <= self.config.write_drain_low:
+            if (
+                self._write_occupancy <= self.config.write_drain_low
+                and self._draining_writes
+            ):
                 self._draining_writes = False
+                cmd_probe = self._p_cmd
+                if cmd_probe is not None:
+                    cmd_probe.emit(
+                        now, "dram.drain", on=0, writes=self._write_occupancy
+                    )
         request.issue_time = now
         outcome = bank.service(request, now, channel.bus)
         request.service_outcome = outcome
+        probe = self._p_req
+        if probe is not None:
+            probe.emit(
+                now,
+                "request.issue",
+                req=self._rid(request),
+                thread=request.thread_id,
+                ch=request.channel,
+                bank=request.bank,
+                row=request.row,
+                result=outcome.row_result,
+                queued=now - request.arrival_time,
+            )
+        cmd_probe = self._p_cmd
+        if cmd_probe is not None:
+            self._emit_cmds(request, outcome)
 
         stats = self._stats(request.thread_id)
         if request.is_read:
@@ -361,6 +442,39 @@ class MemoryController:
         # The bank can take its next request once this access releases it.
         self._schedule_wake(key, outcome.bank_free)
 
+    def _emit_cmds(self, request: MemoryRequest, outcome) -> None:
+        """Emit the DDR command sequence (PRE/ACT/RD|WR) the bank laid out.
+
+        Timestamps come from the :class:`~repro.dram.bank.AccessOutcome`,
+        so the events carry true command times even though they are emitted
+        at issue time (viewers sort by ``ts``).
+        """
+        probe = self._p_cmd
+        rid = self._rid(request)
+        ch = request.channel
+        bank = request.bank
+        row = request.row
+        if outcome.precharge_at is not None:
+            probe.emit(
+                outcome.precharge_at, "dram.cmd", cmd="PRE", ch=ch, bank=bank,
+                req=rid,
+            )
+        if outcome.activate_at is not None:
+            probe.emit(
+                outcome.activate_at, "dram.cmd", cmd="ACT", ch=ch, bank=bank,
+                row=row, req=rid,
+            )
+        probe.emit(
+            outcome.cas_at,
+            "dram.cmd",
+            cmd="RD" if request.is_read else "WR",
+            ch=ch,
+            bank=bank,
+            row=row,
+            req=rid,
+            row_hit=1 if outcome.row_result == "hit" else 0,
+        )
+
     def _complete(self, request: MemoryRequest) -> None:
         now = self.queue.now
         request.completion_time = now
@@ -375,6 +489,20 @@ class MemoryController:
             stats.reads += 1
         else:
             stats.writes += 1
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.record_latency(request.thread_id, latency)
+        probe = self._p_req
+        if probe is not None:
+            probe.emit(
+                now,
+                "request.complete",
+                req=self._rid(request),
+                thread=request.thread_id,
+                ch=request.channel,
+                bank=request.bank,
+                latency=latency,
+            )
         self.scheduler.on_complete(request, now)
         if request.on_complete is not None:
             # The fixed controller/interconnect overhead is charged on the

@@ -15,11 +15,51 @@ from __future__ import annotations
 import heapq
 from typing import Callable
 
-__all__ = ["EventQueue", "SimulationError"]
+__all__ = ["EventQueue", "PeriodicTask", "SimulationError"]
 
 
 class SimulationError(RuntimeError):
     """Raised when the simulation reaches an inconsistent state."""
+
+
+class PeriodicTask:
+    """A self-rescheduling periodic callback (telemetry samplers, watchdogs).
+
+    Created via :meth:`EventQueue.schedule_every`.  The task re-arms itself
+    after every firing until :meth:`cancel` is called; a cancelled task's
+    already-scheduled event becomes a no-op, so cancellation is safe at any
+    point (including from inside the callback).
+    """
+
+    __slots__ = ("queue", "interval", "callback", "priority", "cancelled", "fired")
+
+    def __init__(
+        self,
+        queue: "EventQueue",
+        interval: int,
+        callback: Callable[[], None],
+        priority: int,
+    ) -> None:
+        if interval < 1:
+            raise ValueError("periodic interval must be >= 1 cycle")
+        self.queue = queue
+        self.interval = interval
+        self.callback = callback
+        self.priority = priority
+        self.cancelled = False
+        self.fired = 0
+
+    def _fire(self) -> None:
+        if self.cancelled:
+            return
+        self.fired += 1
+        self.callback()
+        if not self.cancelled:
+            self.queue.schedule_in(self.interval, self._fire, self.priority)
+
+    def cancel(self) -> None:
+        """Stop future firings (pending heap entries become no-ops)."""
+        self.cancelled = True
 
 
 class EventQueue:
@@ -60,6 +100,19 @@ class EventQueue:
     def schedule_in(self, delay: int, callback: Callable[[], None], priority: int = 0) -> None:
         """Schedule ``callback`` to run ``delay`` cycles from now."""
         self.schedule(self.now + delay, callback, priority)
+
+    def schedule_every(
+        self, interval: int, callback: Callable[[], None], priority: int = 5
+    ) -> PeriodicTask:
+        """Run ``callback`` every ``interval`` cycles until cancelled.
+
+        The first firing is one interval from now.  Returns the
+        :class:`PeriodicTask` handle; callers that drive the queue with
+        ``run()`` (which drains the heap) must cancel it to terminate.
+        """
+        task = PeriodicTask(self, interval, callback, priority)
+        self.schedule(self.now + interval, task._fire, priority)
+        return task
 
     def step(self) -> bool:
         """Run the earliest pending event.  Returns ``False`` if none remain."""

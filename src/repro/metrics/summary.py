@@ -10,10 +10,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from typing import TYPE_CHECKING, Iterable, Mapping
 
 from .fairness import memory_slowdown, unfairness
 from .speedup import hmean_speedup, weighted_speedup
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.sampler import TelemetrySummary
 
 __all__ = ["ThreadResult", "WorkloadResult", "geomean"]
 
@@ -43,10 +46,21 @@ class ThreadResult:
     blp_alone: float
     row_hit_rate: float
     worst_latency: int
+    # Per-thread DRAM detail (previously collected by the controller but
+    # dropped on the way out): row-buffer outcome counts and the average
+    # request latency in the shared run.
+    row_hits: int = 0
+    row_conflicts: int = 0
+    latency_avg: float = 0.0
 
     @property
     def memory_slowdown(self) -> float:
         return memory_slowdown(self.mcpi_shared, self.mcpi_alone)
+
+    @property
+    def latency_max(self) -> int:
+        """Worst shared-run request latency (alias of ``worst_latency``)."""
+        return self.worst_latency
 
 
 @dataclass(frozen=True)
@@ -58,6 +72,9 @@ class WorkloadResult:
     threads: tuple[ThreadResult, ...]
     sim_cycles: int = 0
     extra: Mapping[str, float] = field(default_factory=dict)
+    # Optional telemetry digest (latency quantiles, periodic samples, bus
+    # counters) recorded when the run had observability enabled.
+    telemetry: "TelemetrySummary | None" = None
 
     def slowdowns(self) -> dict[int, float]:
         return {t.thread_id: t.memory_slowdown for t in self.threads}
@@ -90,6 +107,20 @@ class WorkloadResult:
     def worst_case_latency(self) -> int:
         return max((t.worst_latency for t in self.threads), default=0)
 
+    @property
+    def total_row_hits(self) -> int:
+        return sum(t.row_hits for t in self.threads)
+
+    @property
+    def total_row_conflicts(self) -> int:
+        return sum(t.row_conflicts for t in self.threads)
+
+    @property
+    def row_hit_rate(self) -> float:
+        """Workload-wide row-buffer hit rate of the shared run."""
+        total = self.total_row_hits + self.total_row_conflicts
+        return self.total_row_hits / total if total else 0.0
+
     def describe(self) -> str:
         """Multi-line human-readable summary."""
         lines = [
@@ -102,6 +133,11 @@ class WorkloadResult:
             lines.append(
                 f"  t{t.thread_id} {t.benchmark:<12} slowdown={t.memory_slowdown:5.2f} "
                 f"AST/req={t.ast_per_req:7.1f} BLP={t.blp_shared:.2f} "
-                f"(alone {t.blp_alone:.2f})"
+                f"(alone {t.blp_alone:.2f}) rowhit={t.row_hit_rate:.0%} "
+                f"lat avg={t.latency_avg:.0f} max={t.latency_max}"
             )
+        if self.telemetry is not None:
+            described = self.telemetry.describe()
+            if described:
+                lines.append(described)
         return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""Observability: structured tracing, time-series probes, Perfetto export.
+
+The :mod:`repro.obs` package is the instrumentation layer threaded through
+the simulator.  It has three parts:
+
+* a **structured trace bus** (:mod:`repro.obs.trace`): typed events emitted
+  through per-site :class:`Probe` objects.  Instrumented components hold a
+  probe *or* ``None``; a disabled category resolves to ``None`` so the hot
+  path pays one local ``is not None`` check and nothing else — the probes
+  "compile out" when tracing is off;
+* **sink backends**: :class:`JsonlSink` (one JSON object per line, the
+  on-disk interchange format), :class:`RingBufferSink` (bounded in-memory
+  buffer for tests and interactive use), and the Chrome-trace-event
+  exporter (:mod:`repro.obs.perfetto`) whose output loads directly in
+  Perfetto / ``chrome://tracing``;
+* **periodic samplers** (:mod:`repro.obs.sampler`): time series of queue
+  occupancy, per-thread outstanding requests, instantaneous bank-level
+  parallelism, windowed row-hit rate and batch size, plus log-bucketed
+  per-thread latency histograms (p50/p95/p99/max) surfaced in
+  :class:`~repro.metrics.summary.WorkloadResult`.
+
+Wiring happens in :class:`~repro.sim.system.System` (accepts a tracer and
+a telemetry recorder), :class:`~repro.sim.runner.ExperimentRunner` /
+:mod:`repro.sim.pool` (per-job trace files keyed by the job's content
+hash), and the CLI (``--trace`` / ``--trace-events`` /
+``--sample-interval`` / ``--perfetto``, or the ``REPRO_TRACE`` family of
+environment variables).
+"""
+
+from .config import TraceConfig
+from .perfetto import chrome_trace, write_chrome_trace
+from .sampler import LatencyHistogram, Telemetry, TelemetrySummary
+from .trace import (
+    CATEGORIES,
+    JsonlSink,
+    Probe,
+    RingBufferSink,
+    Tracer,
+    read_jsonl,
+)
+
+__all__ = [
+    "CATEGORIES",
+    "JsonlSink",
+    "LatencyHistogram",
+    "Probe",
+    "RingBufferSink",
+    "Telemetry",
+    "TelemetrySummary",
+    "TraceConfig",
+    "Tracer",
+    "chrome_trace",
+    "read_jsonl",
+    "write_chrome_trace",
+]

@@ -1,0 +1,71 @@
+"""Tracing configuration: a picklable description of what to record.
+
+:class:`TraceConfig` travels with :class:`~repro.sim.pool.SimJob` across
+process boundaries so workers write the same per-job trace files a serial
+run would.  It is resolved from the CLI flags (``--trace`` /
+``--trace-events`` / ``--sample-interval`` / ``--perfetto``) or from the
+environment (``REPRO_TRACE``, ``REPRO_TRACE_EVENTS``,
+``REPRO_SAMPLE_INTERVAL``, ``REPRO_TRACE_PERFETTO``) — the CLI simply
+exports the environment variables so every runner constructed deep inside
+an experiment helper sees the same configuration, mirroring ``--jobs`` /
+``REPRO_JOBS``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = ["TraceConfig"]
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """What the observability layer should record for each simulation.
+
+    The default (all fields unset) is *inactive*: passing
+    ``TraceConfig()`` to a runner explicitly disables tracing even when
+    ``REPRO_TRACE`` is set in the environment.
+    """
+
+    dir: str | None = None  # directory for per-job JSONL trace files
+    events: tuple[str, ...] | None = None  # event categories (None = all)
+    sample_interval: int | None = None  # telemetry sample period, cycles
+    perfetto: bool = False  # also write a Chrome-trace JSON per job
+
+    def __post_init__(self) -> None:
+        if self.sample_interval is not None and self.sample_interval < 1:
+            raise ValueError("sample_interval must be >= 1 cycle")
+
+    @property
+    def active(self) -> bool:
+        """Whether any recording is requested at all."""
+        return self.dir is not None or self.sample_interval is not None
+
+    @property
+    def wants_events(self) -> bool:
+        """Whether per-event trace files should be written."""
+        return self.dir is not None
+
+    @classmethod
+    def from_env(cls, environ: dict | None = None) -> "TraceConfig | None":
+        """Configuration from ``REPRO_TRACE*``, or ``None`` when unset."""
+        env = os.environ if environ is None else environ
+        trace_dir = env.get("REPRO_TRACE") or None
+        interval_raw = env.get("REPRO_SAMPLE_INTERVAL")
+        interval = int(interval_raw) if interval_raw else None
+        if trace_dir is None and interval is None:
+            return None
+        events_raw = env.get("REPRO_TRACE_EVENTS")
+        events = (
+            tuple(e.strip() for e in events_raw.split(",") if e.strip())
+            if events_raw
+            else None
+        )
+        perfetto = env.get("REPRO_TRACE_PERFETTO", "").lower() in ("1", "true", "yes")
+        return cls(
+            dir=trace_dir,
+            events=events,
+            sample_interval=interval,
+            perfetto=perfetto,
+        )

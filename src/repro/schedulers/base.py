@@ -73,11 +73,23 @@ class Scheduler(ABC):
         # Bumped whenever buffered requests' priority keys go stale; the
         # index rebuilds a bank's heaps lazily when it observes a new epoch.
         self.index_epoch = 0
+        # ``sched``-category trace probe, bound in :meth:`attach`; None
+        # whenever tracing is off, so instrumented paths stay free.
+        self._p_sched = None
 
     # -- lifecycle hooks ---------------------------------------------------
     def attach(self, controller: "MemoryController") -> None:
         """Called once when the controller is built."""
         self.controller = controller
+        tracer = getattr(controller, "tracer", None)
+        self._p_sched = tracer.probe("sched") if tracer is not None else None
+
+    def bump_index_epoch(self, now: int) -> None:
+        """Invalidate every bank's cached priority heaps (and trace it)."""
+        self.index_epoch += 1
+        probe = self._p_sched
+        if probe is not None:
+            probe.emit(now, "sched.epoch", epoch=self.index_epoch)
 
     def on_enqueue(self, request: MemoryRequest, now: int) -> None:
         """A new request entered the request buffer."""
@@ -123,6 +135,16 @@ class Scheduler(ABC):
         self.refresh_index(now)
         if index.heap_epoch != self.index_epoch:
             index.ensure(self)
+            probe = self._p_sched
+            if probe is not None:
+                probe.emit(
+                    now,
+                    "sched.rqindex_rebuild",
+                    ch=bank[0],
+                    bank=bank[1],
+                    epoch=self.index_epoch,
+                    size=index.size,
+                )
         best = index.peek()
         if open_row is None or not self.index_uses_row:
             return best[1]

@@ -183,7 +183,7 @@ class StfmScheduler(Scheduler):
         if mode != self._index_mode:
             self._index_mode = mode
             self.index_prefix_len = 1 if fair else 0
-            self.index_epoch += 1
+            self.bump_index_epoch(now)
 
     def index_key(self, request: MemoryRequest) -> tuple:
         fair, slowest = self._index_mode

@@ -33,7 +33,8 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Sequence
 
 from ..config import SystemConfig
-from .diskcache import content_key
+from ..obs.config import TraceConfig
+from .diskcache import GLOBAL_STATS, content_key
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..metrics.summary import WorkloadResult
@@ -68,11 +69,14 @@ class SimJob:
     instructions: int = 0
     seed: int = 0
     cache_dir: str | None = None  # None disables the on-disk cache
+    # Observability settings travel with the job so pool workers write the
+    # same per-job trace files a serial run would (None = tracing off).
+    trace: TraceConfig | None = None
 
     def runner_key(self) -> str:
         """Content hash of everything that parameterizes the runner."""
         return content_key(
-            [self.config, self.instructions, self.seed, self.cache_dir]
+            [self.config, self.instructions, self.seed, self.cache_dir, self.trace]
         )
 
 
@@ -94,6 +98,9 @@ def _runner_for(job: SimJob) -> "ExperimentRunner":
             seed=job.seed,
             jobs=1,  # workers never fan out further
             cache_dir=job.cache_dir,
+            # An unset trace field means "off", not "resolve from env":
+            # the submitting runner already resolved the environment.
+            trace=job.trace if job.trace is not None else TraceConfig(),
         )
         _WORKER_RUNNERS[key] = runner
     return runner
@@ -117,8 +124,23 @@ def run_jobs(jobs: Sequence[SimJob], workers: int | None = None) -> list["Worklo
     if workers is None:
         workers = default_jobs()
     if workers <= 1 or len(jobs) <= 1:
-        return [run_job(job) for job in jobs]
+        results = [run_job(job) for job in jobs]
+        _log_cache_report()
+        return results
     workers = min(workers, len(jobs))
     logger.info("running %d simulations over %d worker processes", len(jobs), workers)
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(run_job, jobs, chunksize=1))
+        results = list(pool.map(run_job, jobs, chunksize=1))
+    _log_cache_report()
+    return results
+
+
+def _log_cache_report() -> None:
+    """One-line disk-cache digest after a batch of jobs (submitting process
+    only; worker-side hits stay in the workers)."""
+    logger.info(
+        "disk cache: %d hits, %d misses, %d writes",
+        GLOBAL_STATS["hits"],
+        GLOBAL_STATS["misses"],
+        GLOBAL_STATS["writes"],
+    )

@@ -24,12 +24,15 @@ processes when ``jobs > 1`` (``--jobs`` / ``REPRO_JOBS``).
 from __future__ import annotations
 
 import os
+import re
 from dataclasses import asdict, dataclass, replace
+from pathlib import Path
 from typing import Any, Sequence
 
 from ..config import SystemConfig, baseline_system
 from ..cpu.trace import Trace, TraceEntry
 from ..metrics.summary import ThreadResult, WorkloadResult
+from ..obs import JsonlSink, Telemetry, TraceConfig, Tracer
 from ..schedulers.base import Scheduler
 from ..workloads.generator import TraceGenerator
 from ..workloads.profiles import profile
@@ -76,12 +79,17 @@ class ExperimentRunner:
         seed: int = 0,
         jobs: int | None = None,
         cache_dir: Any = _DEFAULT_CACHE,
+        trace: TraceConfig | None = None,
     ) -> None:
         self.config = config or baseline_system(4)
         self.instructions = instructions or default_instructions()
         self.seed = seed
         # None → resolve from REPRO_JOBS at run time (default 1 = serial).
         self.jobs = jobs
+        # Observability: None → resolve from REPRO_TRACE* env vars; pass an
+        # explicitly inactive TraceConfig() to force tracing off.
+        resolved = trace if trace is not None else TraceConfig.from_env()
+        self.trace = resolved if resolved is not None else TraceConfig()
         self.generator = TraceGenerator(mapping=self.config.dram.mapping())
         self._trace_cache: dict[tuple[str, int], Trace] = {}
         self._alone_cache: dict[str, AloneStats] = {}
@@ -232,6 +240,30 @@ class ExperimentRunner:
         return stats
 
     # -- shared runs ------------------------------------------------------------
+    def _job_key(
+        self, workload: Sequence[str], scheduler_name: str, kwargs: dict
+    ) -> str:
+        """Stable content hash naming one simulation's trace files.
+
+        The same simulation produces the same key whether it runs serially
+        or inside a pool worker, so trace files land in the same place.
+        """
+        try:
+            described = sorted(kwargs.items())
+        except TypeError:  # pragma: no cover - exotic kwargs
+            described = sorted((k, repr(v)) for k, v in kwargs.items())
+        return content_key(
+            [
+                SIM_FINGERPRINT,
+                self.config,
+                list(workload),
+                scheduler_name,
+                described,
+                self.instructions,
+                self.seed,
+            ]
+        )[:20]
+
     def run_workload(
         self,
         workload: list[str],
@@ -239,7 +271,16 @@ class ExperimentRunner:
         **scheduler_kwargs,
     ) -> WorkloadResult:
         """Run ``workload`` (one benchmark name per core) under a scheduler
-        and return all paper metrics."""
+        and return all paper metrics.
+
+        When the runner's :class:`~repro.obs.config.TraceConfig` is active,
+        the shared run is traced: structured events stream to a per-job
+        JSONL file under ``trace.dir`` (plus a Perfetto-loadable Chrome
+        trace when ``trace.perfetto``), and the periodic sampler's digest
+        lands on ``WorkloadResult.telemetry``.  Alone-run baselines are
+        never traced — they are cache-shared across workloads and must stay
+        byte-identical regardless of observability settings.
+        """
         if len(workload) != self.config.num_cores:
             raise ValueError(
                 f"workload has {len(workload)} threads but the system has "
@@ -253,9 +294,50 @@ class ExperimentRunner:
         else:
             scheduler_name = scheduler.name
 
+        cfg = self.trace
+        tracer: Tracer | None = None
+        telemetry: Telemetry | None = None
+        trace_path: Path | None = None
+        if cfg.wants_events:
+            safe_name = re.sub(r"[^A-Za-z0-9._-]+", "_", scheduler_name)
+            job_key = self._job_key(workload, scheduler_name, scheduler_kwargs)
+            trace_path = Path(cfg.dir) / f"{safe_name}-{job_key}.jsonl"
+            tracer = Tracer([JsonlSink(trace_path)], events=cfg.events)
+        if cfg.active:
+            telemetry = Telemetry(
+                cfg.sample_interval,
+                probe=tracer.probe("sample") if tracer is not None else None,
+            )
+
         traces = self._workload_traces(workload)
-        system = System(self.config, scheduler, traces, repeat=True)
-        sim_cycles = system.run()
+        system = System(
+            self.config,
+            scheduler,
+            traces,
+            repeat=True,
+            tracer=tracer,
+            telemetry=telemetry,
+        )
+        try:
+            sim_cycles = system.run()
+        finally:
+            if tracer is not None:
+                tracer.close()
+        # The JSONL sink opens lazily, so a run that emitted nothing (e.g.
+        # a category filter selecting events this scheduler never produces)
+        # leaves no file — and nothing to export.
+        if (
+            tracer is not None
+            and cfg.perfetto
+            and trace_path is not None
+            and trace_path.exists()
+        ):
+            from ..obs import read_jsonl, write_chrome_trace
+
+            write_chrome_trace(
+                trace_path.with_suffix(".perfetto.json"),
+                read_jsonl(trace_path),
+            )
 
         threads = []
         for thread_id, benchmark in enumerate(workload):
@@ -277,6 +359,9 @@ class ExperimentRunner:
                     blp_alone=base.blp,
                     row_hit_rate=mem.row_hit_rate,
                     worst_latency=mem.latency_max,
+                    row_hits=mem.row_hits,
+                    row_conflicts=mem.row_conflicts,
+                    latency_avg=mem.avg_latency,
                 )
             )
         return WorkloadResult(
@@ -284,6 +369,7 @@ class ExperimentRunner:
             workload=tuple(workload),
             threads=tuple(threads),
             sim_cycles=sim_cycles,
+            telemetry=telemetry.summary() if telemetry is not None else None,
         )
 
     # -- parallel fan-out ---------------------------------------------------------
@@ -340,10 +426,21 @@ class ExperimentRunner:
                 instructions=self.instructions,
                 seed=self.seed,
                 cache_dir=self.cache_dir,
+                trace=self.trace,
             )
             for workload, name, kwargs in specs
         ]
         return run_jobs(sim_jobs, workers)
+
+    def cache_report(self) -> str:
+        """One-line digest of this process's disk-cache traffic."""
+        from .diskcache import GLOBAL_STATS
+
+        return (
+            f"disk cache: {GLOBAL_STATS['hits']} hits, "
+            f"{GLOBAL_STATS['misses']} misses, "
+            f"{GLOBAL_STATS['writes']} writes"
+        )
 
     def compare_schedulers(
         self,

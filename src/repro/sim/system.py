@@ -79,6 +79,14 @@ class System:
         index, default), ``"scan"`` (reference ``min()``-over-candidates
         path), or ``"verify"`` (both, asserting agreement at every
         decision).  See :mod:`repro.dram.rqindex`.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`; when present, the
+        controller, scheduler, batcher and cores emit structured events
+        through it.  ``None`` (default) compiles all probes to no-ops.
+    telemetry:
+        Optional :class:`~repro.obs.sampler.Telemetry` recorder; attaches
+        its periodic sampler to this system and receives per-request
+        latencies from the controller.
     """
 
     def __init__(
@@ -89,6 +97,8 @@ class System:
         use_caches: bool = False,
         repeat: bool = True,
         arbitration: str = "index",
+        tracer=None,
+        telemetry=None,
     ) -> None:
         if len(traces) != config.num_cores:
             raise ValueError(
@@ -96,12 +106,16 @@ class System:
             )
         self.config = config
         self.queue = EventQueue()
+        self.tracer = tracer
+        self.telemetry = telemetry
         self.controller = MemoryController(
             self.queue,
             config.dram,
             scheduler,
             num_threads=config.num_cores,
             arbitration=arbitration,
+            tracer=tracer,
+            telemetry=telemetry,
         )
         self.mapping = config.dram.mapping()
         self.port = DramPort(self.controller, self.mapping)
@@ -112,6 +126,7 @@ class System:
         self.events_processed = 0
         self.cores: list[Core] = []
         self.hierarchies: list[CacheHierarchy] = []
+        core_probe = tracer.probe("core") if tracer is not None else None
         for thread_id, trace in enumerate(traces):
             memory = self.port
             if use_caches:
@@ -130,9 +145,12 @@ class System:
                 memory,
                 config=config.core,
                 repeat=repeat,
+                probe=core_probe,
             )
             core.on_finished = self._core_finished
             self.cores.append(core)
+        if telemetry is not None:
+            telemetry.attach(self)
 
     def _core_finished(self, core: Core) -> None:
         self._finished += 1
@@ -171,4 +189,6 @@ class System:
                     f"exceeded event budget ({max_events}); simulation stuck?"
                 )
         self.events_processed = events
+        if self.telemetry is not None:
+            self.telemetry.finalize(queue.now)
         return queue.now

@@ -17,8 +17,25 @@ import pytest
 def _isolated_disk_cache(tmp_path_factory):
     previous = os.environ.get("REPRO_CACHE_DIR")
     os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-cache"))
+    # Observability must never leak into the suite from the invoking shell:
+    # an inherited REPRO_TRACE would make every runner write trace files
+    # (and change what the determinism tests compare).
+    saved_trace = {
+        name: os.environ.pop(name, None)
+        for name in (
+            "REPRO_TRACE",
+            "REPRO_TRACE_EVENTS",
+            "REPRO_SAMPLE_INTERVAL",
+            "REPRO_TRACE_PERFETTO",
+        )
+    }
     yield
     if previous is None:
         os.environ.pop("REPRO_CACHE_DIR", None)
     else:
         os.environ["REPRO_CACHE_DIR"] = previous
+    for name, value in saved_trace.items():
+        if value is None:
+            os.environ.pop(name, None)
+        else:
+            os.environ[name] = value

