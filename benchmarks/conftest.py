@@ -17,24 +17,23 @@ simulations out over N worker processes.
 
 from __future__ import annotations
 
-import os
-
 import pytest
 
 from repro.config import baseline_system
+from repro.envknobs import read_int, read_optional_int
 from repro.sim.diskcache import GLOBAL_STATS
 from repro.sim.pool import default_jobs
 from repro.sim.runner import ExperimentRunner
 
 
 def bench_instructions() -> int:
-    return max(20_000, int(os.environ.get("REPRO_BENCH_INSTRUCTIONS", "100000")))
+    return read_int("REPRO_BENCH_INSTRUCTIONS", 100_000, floor=20_000)
 
 
 def bench_workloads(num_cores: int) -> int:
-    env = os.environ.get("REPRO_WORKLOADS")
+    env = read_optional_int("REPRO_WORKLOADS", floor=1)
     if env is not None:
-        return max(1, int(env))
+        return env
     return {4: 8, 8: 3, 16: 2}[num_cores]
 
 

@@ -10,6 +10,9 @@ Examples::
     python -m repro sweep marking-cap --count 4
     python -m repro priorities
     python -m repro characterize
+    python -m repro campaign run examples/campaign_smoke.toml
+    python -m repro campaign report examples/campaign_smoke.toml
+    python -m repro cache stats
 """
 
 from __future__ import annotations
@@ -20,6 +23,7 @@ import os
 import sys
 
 from .config import baseline_system
+from .envknobs import EnvKnobError
 from .experiments.ablations import (
     batching_choice_sweep,
     marking_cap_sweep,
@@ -53,7 +57,11 @@ _EXPERIMENTS = """Available experiments (paper artifact -> command):
   Figure 11  python -m repro sweep marking-cap
   Figure 12  python -m repro sweep batching
   Figure 13  python -m repro sweep ranking
-  Figure 14  python -m repro priorities"""
+  Figure 14  python -m repro priorities
+
+Infrastructure:
+  Campaigns  python -m repro campaign run|status|resume|report|export SPEC
+  Cache      python -m repro cache stats|prune|clear"""
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -94,7 +102,7 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="CATS",
         default=None,
         help="comma-separated event categories to trace "
-        "(request,dram,batch,sched,core,sample; default: all)",
+        "(request,dram,batch,sched,core,sample,campaign; default: all)",
     )
     parser.add_argument(
         "--sample-interval",
@@ -129,6 +137,64 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep = sub.add_parser("sweep", help="Figures 11/12/13: ablations")
     sweep.add_argument("kind", choices=("marking-cap", "batching", "ranking"))
     sweep.add_argument("--count", type=int, default=4, help="random mixes")
+
+    campaign = sub.add_parser(
+        "campaign", help="declarative resumable experiment campaigns"
+    )
+    csub = campaign.add_subparsers(dest="action", required=True)
+    for action, desc in (
+        ("run", "run every grid cell missing from the result store"),
+        ("resume", "alias of run: completed cells are never re-simulated"),
+    ):
+        runp = csub.add_parser(action, help=desc)
+        runp.add_argument("spec", help="campaign spec file (.toml or .json)")
+        runp.add_argument("--db", default=None, help="result store path")
+        runp.add_argument(
+            "--limit",
+            type=int,
+            default=None,
+            help="simulate at most N missing jobs this invocation",
+        )
+        runp.add_argument("--retries", type=int, default=2)
+        runp.add_argument(
+            "--dry-run",
+            action="store_true",
+            help="print the expanded grid summary and exit",
+        )
+    statusp = csub.add_parser("status", help="job lifecycle counts")
+    statusp.add_argument(
+        "spec",
+        nargs="?",
+        default=None,
+        help="spec file (omit to list every campaign in the store)",
+    )
+    statusp.add_argument("--db", default=None)
+    reportp = csub.add_parser(
+        "report", help="aggregate tables from the store (no simulation)"
+    )
+    reportp.add_argument("spec")
+    reportp.add_argument("--db", default=None)
+    reportp.add_argument("--format", choices=("markdown", "csv"), default="markdown")
+    reportp.add_argument("--out", default=None, help="write to file instead of stdout")
+    exportp = csub.add_parser("export", help="raw per-job rows from the store")
+    exportp.add_argument("spec")
+    exportp.add_argument("--db", default=None)
+    exportp.add_argument("--format", choices=("csv", "json"), default="csv")
+    exportp.add_argument("--out", default=None, help="write to file instead of stdout")
+
+    cache = sub.add_parser("cache", help="simulation disk-cache maintenance")
+    cachesub = cache.add_subparsers(dest="action", required=True)
+    cachesub.add_parser("stats", help="entry counts and sizes per kind")
+    prunep = cachesub.add_parser(
+        "prune", help="LRU-prune the cache down to a size bound"
+    )
+    prunep.add_argument(
+        "--max-mb",
+        type=float,
+        default=None,
+        help="size bound in MB (default: REPRO_CACHE_MAX_MB)",
+    )
+    cachesub.add_parser("clear", help="delete every cache entry")
     return parser
 
 
@@ -159,7 +225,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.perfetto:
         os.environ["REPRO_TRACE_PERFETTO"] = "1"
 
-    status = _dispatch(args, instructions)
+    try:
+        status = _dispatch(args, instructions)
+    except EnvKnobError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.command != "list":
         from .sim.diskcache import GLOBAL_STATS
 
@@ -217,6 +287,130 @@ def _dispatch(args: argparse.Namespace, instructions: int | None) -> int:
         else:
             result = ranking_scheme_sweep(count=args.count, runner=runner)
             print(result.report("Figure 13: within-batch ranking"))
+        return 0
+    if args.command == "campaign":
+        return _dispatch_campaign(args, instructions)
+    if args.command == "cache":
+        return _dispatch_cache(args)
+    return 1  # pragma: no cover
+
+
+def _emit(text: str, out: str | None) -> None:
+    if out:
+        with open(out, "w") as fh:
+            fh.write(text)
+        print(f"wrote {out}")
+    else:
+        print(text, end="" if text.endswith("\n") else "\n")
+
+
+def _dispatch_campaign(args: argparse.Namespace, instructions: int | None) -> int:
+    from .campaign import (
+        ResultStore,
+        campaign_report,
+        export_text,
+        load_spec,
+        run_campaign,
+        status_report,
+    )
+
+    if args.action == "status" and args.spec is None:
+        with ResultStore(args.db) as store:
+            rows = store.campaigns()
+            if not rows:
+                print("no campaigns in store")
+                return 0
+            for row in rows:
+                print(
+                    f"{row['name']}  {row['fingerprint'][:12]}  "
+                    f"{row['done']}/{row['total']} done, "
+                    f"{row['failed']} failed  "
+                    f"({row['instructions']} instructions)"
+                )
+        return 0
+
+    spec = load_spec(args.spec)
+    if instructions is not None:
+        # --instructions overrides the spec file's value (same precedence
+        # as every other subcommand).
+        from .campaign import spec_from_dict
+
+        spec = spec_from_dict({**spec.to_dict(), "instructions": instructions})
+
+    if args.action in ("run", "resume"):
+        if args.dry_run:
+            print(spec.describe())
+            return 0
+        probe = None
+        tracer = None
+        trace_dir = os.environ.get("REPRO_TRACE")
+        if trace_dir:
+            from pathlib import Path
+
+            from .obs.config import TraceConfig
+            from .obs.trace import JsonlSink, Tracer
+
+            cfg = TraceConfig.from_env() or TraceConfig()
+            Path(trace_dir).mkdir(parents=True, exist_ok=True)
+            tracer = Tracer(
+                [JsonlSink(Path(trace_dir) / f"campaign-{spec.name}.jsonl")],
+                events=cfg.events,
+            )
+            probe = tracer.probe("campaign")
+        try:
+            with ResultStore(args.db) as store:
+                stats = run_campaign(
+                    spec,
+                    store,
+                    limit=args.limit,
+                    retries=args.retries,
+                    probe=probe,
+                )
+        finally:
+            if tracer is not None:
+                tracer.close()
+        print(stats.summary_line(spec.name))
+        return 1 if stats.failed else 0
+    with ResultStore(args.db) as store:
+        if args.action == "status":
+            print(status_report(spec, store))
+        elif args.action == "report":
+            _emit(campaign_report(spec, store, fmt=args.format), args.out)
+        elif args.action == "export":
+            _emit(export_text(spec, store, fmt=args.format), args.out)
+    return 0
+
+
+def _dispatch_cache(args: argparse.Namespace) -> int:
+    from .sim.diskcache import DiskCache, default_cache_dir, max_cache_mb
+
+    cache = DiskCache()
+    if args.action == "stats":
+        usage = cache.usage()
+        total_n = sum(n for n, _b in usage.values())
+        total_b = sum(b for _n, b in usage.values())
+        print(f"cache dir: {default_cache_dir()}")
+        bound = max_cache_mb()
+        print(f"size bound: {'unbounded' if bound is None else f'{bound:g} MB'}")
+        for kind in sorted(usage):
+            n, b = usage[kind]
+            print(f"  {kind}: {n} entries, {b / 1e6:.2f} MB")
+        print(f"  total: {total_n} entries, {total_b / 1e6:.2f} MB")
+        return 0
+    if args.action == "prune":
+        limit = args.max_mb if args.max_mb is not None else cache.max_mb
+        if limit is None:
+            print(
+                "error: no size bound: pass --max-mb or set REPRO_CACHE_MAX_MB",
+                file=sys.stderr,
+            )
+            return 2
+        removed, freed = cache.prune(max_mb=limit)
+        print(f"pruned {removed} entries, {freed / 1e6:.2f} MB freed")
+        return 0
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"cleared {removed} entries")
         return 0
     return 1  # pragma: no cover
 

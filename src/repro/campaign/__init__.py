@@ -1,0 +1,51 @@
+"""Declarative, resumable experiment campaigns.
+
+The paper's headline results are averages over large scheduler × mix ×
+core-count × Marking-Cap grids.  This package turns those grids into
+durable *campaigns*:
+
+* :mod:`~repro.campaign.spec` — a declarative spec (TOML/JSON/dict)
+  expanded deterministically into content-hash-keyed jobs;
+* :mod:`~repro.campaign.store` — a SQLite (WAL) result store holding job
+  lifecycle rows and full serialized
+  :class:`~repro.metrics.summary.WorkloadResult` payloads, with
+  schema-version migrations;
+* :mod:`~repro.campaign.orchestrator` — runs only the jobs missing from
+  the store, streams completions in transactionally (interrupt + rerun
+  resumes exactly), and retries failed workers with capped backoff;
+* :mod:`~repro.campaign.report` — regenerates the paper's aggregate
+  tables (markdown/CSV) and raw per-job exports from the store without
+  re-simulating anything.
+
+CLI: ``python -m repro campaign run|status|resume|report|export``.  The
+``aggregate``, ``sweep`` and ``table4`` experiments execute as campaigns
+under the hood, so every figure pipeline is restartable and queryable.
+"""
+
+from .orchestrator import RunStats, run_and_collect, run_campaign
+from .report import campaign_report, export_rows, export_text, status_report
+from .serde import result_from_dict, result_from_json, result_to_dict, result_to_json
+from .spec import CampaignJob, CampaignSpec, Variant, load_spec, spec_from_dict
+from .store import SCHEMA_VERSION, ResultStore, default_db_path
+
+__all__ = [
+    "CampaignJob",
+    "CampaignSpec",
+    "ResultStore",
+    "RunStats",
+    "SCHEMA_VERSION",
+    "Variant",
+    "campaign_report",
+    "default_db_path",
+    "export_rows",
+    "export_text",
+    "load_spec",
+    "result_from_dict",
+    "result_from_json",
+    "result_to_dict",
+    "result_to_json",
+    "run_and_collect",
+    "run_campaign",
+    "spec_from_dict",
+    "status_report",
+]

@@ -1,0 +1,298 @@
+"""Resumable campaign execution on top of the process pool and the store.
+
+The orchestrator is deliberately thin: a campaign spec expands to a job
+grid, the store says which cells already hold results, and only the
+missing ones are simulated — serially or fanned out over the
+:mod:`repro.sim.pool` worker processes.  Each completion is committed to
+the store in its own transaction *as it arrives*, so a ``Ctrl-C``, crash
+or machine reboot mid-grid loses at most the simulations that were
+in flight; re-running the same spec resumes exactly where it stopped.
+
+Failed worker jobs are retried with capped exponential backoff (worker
+crashes and transient OS failures are the target — the simulations
+themselves are deterministic), and anything still failing is recorded as
+``failed`` with its error text, to be retried by the next run.
+
+Progress streams through the :mod:`repro.obs` trace bus (``campaign.*``
+events) when a probe is supplied, and through ``logging`` always.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+
+from ..config import baseline_system
+from ..metrics.summary import WorkloadResult
+from ..obs.config import TraceConfig
+from ..obs.trace import Probe
+from ..sim import pool
+from ..sim.diskcache import cache_enabled, default_cache_dir
+from ..sim.pool import SimJob
+from .spec import CampaignJob, CampaignSpec
+from .store import ResultStore
+
+__all__ = ["RunStats", "run_campaign", "run_and_collect"]
+
+logger = logging.getLogger(__name__)
+
+_MAX_BACKOFF_S = 8.0
+
+
+@dataclass
+class RunStats:
+    """What one ``campaign run`` invocation actually did."""
+
+    total: int = 0  # grid size
+    skipped: int = 0  # already done in the store
+    ran: int = 0  # simulated and committed by this run
+    failed: int = 0  # exhausted retries; recorded as failed
+    retried: int = 0  # resubmissions after a worker error
+    deferred: int = 0  # pending but beyond --limit
+
+    def summary_line(self, name: str) -> str:
+        """The stable one-line digest the CLI prints (CI greps it)."""
+        return (
+            f"campaign {name}: total={self.total} ran={self.ran} "
+            f"skipped={self.skipped} failed={self.failed} "
+            f"deferred={self.deferred}"
+        )
+
+
+def _sim_job(job: CampaignJob, trace: TraceConfig, cache_dir: str | None) -> SimJob:
+    return SimJob(
+        config=baseline_system(job.num_cores),
+        workload=job.workload,
+        scheduler=job.scheduler,
+        scheduler_kwargs=job.kwargs_dict(),
+        instructions=job.instructions,
+        seed=job.seed,
+        cache_dir=cache_dir,
+        trace=trace,
+    )
+
+
+def _prewarm_baselines(to_run: list[CampaignJob], trace: TraceConfig) -> None:
+    """One serial pass computing alone-run baselines into the disk cache.
+
+    Same rationale as :meth:`ExperimentRunner.run_many`: without this,
+    every worker would recompute the same single-core baselines.
+    """
+    from ..sim.runner import ExperimentRunner
+
+    runners: dict[tuple[int, int, int], ExperimentRunner] = {}
+    for job in to_run:
+        key = (job.num_cores, job.seed, job.instructions)
+        runner = runners.get(key)
+        if runner is None:
+            runner = runners[key] = ExperimentRunner(
+                baseline_system(job.num_cores),
+                instructions=job.instructions,
+                seed=job.seed,
+                trace=TraceConfig(),  # baselines are never traced
+            )
+        for benchmark in set(job.workload):
+            runner.alone(benchmark)
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    store: ResultStore,
+    *,
+    jobs: int | None = None,
+    limit: int | None = None,
+    retries: int = 2,
+    backoff_s: float = 0.5,
+    probe: Probe | None = None,
+) -> RunStats:
+    """Run every grid cell of ``spec`` that the store does not have yet.
+
+    ``limit`` caps how many missing jobs this invocation simulates (the
+    campaign smoke tests use it to model an interruption); ``jobs`` is
+    the worker process count (default: ``REPRO_JOBS``).
+    """
+    grid = spec.expand()
+    store.register(spec, grid)
+    statuses = store.statuses(job.key for job in grid)
+    to_run = [job for job in grid if statuses.get(job.key) != "done"]
+    stats = RunStats(total=len(grid), skipped=len(grid) - len(to_run))
+    if limit is not None and len(to_run) > limit:
+        stats.deferred = len(to_run) - limit
+        to_run = to_run[:limit]
+    workers = pool.default_jobs() if jobs is None else max(1, jobs)
+    workers = min(workers, max(1, len(to_run)))
+    logger.info(
+        "campaign %s: %d jobs total, %d already stored, running %d over %d workers",
+        spec.name,
+        stats.total,
+        stats.skipped,
+        len(to_run),
+        workers,
+    )
+    if probe is not None:
+        probe.emit(
+            0,
+            "campaign.start",
+            name=spec.name,
+            fingerprint=spec.fingerprint(),
+            total=stats.total,
+            stored=stats.skipped,
+            running=len(to_run),
+        )
+    if not to_run:
+        if probe is not None:
+            probe.emit(0, "campaign.done", ran=0, failed=0, skipped=stats.skipped)
+        return stats
+
+    trace = TraceConfig.from_env() or TraceConfig()
+    cache_dir = str(default_cache_dir()) if cache_enabled() else None
+    if workers > 1 and cache_dir is not None:
+        _prewarm_baselines(to_run, trace)
+
+    def committed(job: CampaignJob, result: WorkloadResult, wall: float) -> None:
+        store.record_result(job.key, result, wall_time_s=wall)
+        stats.ran += 1
+        done = stats.skipped + stats.ran
+        logger.info(
+            "campaign %s: %d/%d done (%s on %d cores)",
+            spec.name, done, stats.total, job.variant, job.num_cores,
+        )
+        if probe is not None:
+            probe.emit(
+                done,
+                "campaign.job",
+                key=job.key[:16],
+                variant=job.variant,
+                cores=job.num_cores,
+                status="done",
+            )
+
+    def gave_up(job: CampaignJob, error: BaseException) -> None:
+        store.record_failure(job.key, f"{type(error).__name__}: {error}")
+        stats.failed += 1
+        logger.warning("campaign %s: job %s failed: %s", spec.name, job.key[:16], error)
+        if probe is not None:
+            probe.emit(
+                stats.skipped + stats.ran,
+                "campaign.job",
+                key=job.key[:16],
+                variant=job.variant,
+                cores=job.num_cores,
+                status="failed",
+            )
+
+    if workers <= 1:
+        _run_serial(to_run, trace, cache_dir, retries, backoff_s, stats, committed, gave_up)
+    else:
+        _run_parallel(
+            to_run, trace, cache_dir, workers, retries, backoff_s, stats, committed, gave_up
+        )
+    if probe is not None:
+        probe.emit(
+            stats.skipped + stats.ran,
+            "campaign.done",
+            ran=stats.ran,
+            failed=stats.failed,
+            skipped=stats.skipped,
+        )
+    return stats
+
+
+def _run_serial(to_run, trace, cache_dir, retries, backoff_s, stats, committed, gave_up):
+    for job in to_run:
+        sim = _sim_job(job, trace, cache_dir)
+        for attempt in range(retries + 1):
+            start = time.perf_counter()
+            try:
+                result = pool.run_job(sim)
+            except KeyboardInterrupt:
+                raise
+            except Exception as exc:
+                if attempt >= retries:
+                    gave_up(job, exc)
+                    break
+                stats.retried += 1
+                time.sleep(min(backoff_s * (2**attempt), _MAX_BACKOFF_S))
+            else:
+                committed(job, result, time.perf_counter() - start)
+                break
+
+
+def _run_parallel(
+    to_run, trace, cache_dir, workers, retries, backoff_s, stats, committed, gave_up
+):
+    with ProcessPoolExecutor(max_workers=workers) as executor:
+        inflight: dict[Future, tuple[CampaignJob, int, float]] = {}
+
+        def submit(job: CampaignJob, attempt: int) -> None:
+            future = executor.submit(pool.run_job, _sim_job(job, trace, cache_dir))
+            inflight[future] = (job, attempt, time.perf_counter())
+
+        try:
+            for job in to_run:
+                submit(job, 0)
+            while inflight:
+                finished, _pending = wait(inflight, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    job, attempt, started = inflight.pop(future)
+                    try:
+                        result = future.result()
+                    except Exception as exc:
+                        if attempt >= retries:
+                            gave_up(job, exc)
+                            continue
+                        stats.retried += 1
+                        # Capped backoff in the submitting process: a
+                        # worker crash (OOM kill, wedged node) should not
+                        # be hammered back instantly.
+                        time.sleep(min(backoff_s * (2**attempt), _MAX_BACKOFF_S))
+                        submit(job, attempt + 1)
+                    else:
+                        committed(job, result, time.perf_counter() - started)
+        except KeyboardInterrupt:
+            # Everything already committed stays committed; drop the rest.
+            executor.shutdown(wait=False, cancel_futures=True)
+            raise
+
+
+def run_and_collect(
+    spec: CampaignSpec,
+    store: ResultStore | None = None,
+    *,
+    jobs: int | None = None,
+    retries: int = 2,
+    backoff_s: float = 0.5,
+    probe: Probe | None = None,
+) -> list[WorkloadResult]:
+    """Run a campaign to completion and return results in grid order.
+
+    This is the bridge the experiment drivers use: with ``store=None`` a
+    store is opened at the default location (so figure pipelines are
+    restartable by default) and closed afterwards.  Raises if any job
+    ultimately failed — partial grids are for ``campaign status`` to
+    inspect, not for aggregate statistics to silently average over.
+    """
+    owned = store is None
+    store = store if store is not None else ResultStore()
+    try:
+        run_campaign(
+            spec, store, jobs=jobs, retries=retries, backoff_s=backoff_s, probe=probe
+        )
+        grid = spec.expand()
+        results = store.results_for(job.key for job in grid)
+        missing = [job.key for job in grid if job.key not in results]
+        if missing:
+            failures = store.failures_for(missing)
+            detail = "; ".join(
+                f"{key[:16]}: {failures.get(key, 'missing')}" for key in missing[:3]
+            )
+            raise RuntimeError(
+                f"campaign {spec.name!r}: {len(missing)} of {len(grid)} jobs "
+                f"did not complete ({detail})"
+            )
+        return [results[job.key] for job in grid]
+    finally:
+        if owned:
+            store.close()

@@ -1,0 +1,406 @@
+"""Declarative campaign specifications and their deterministic expansion.
+
+A *campaign* is the unit the paper's aggregate results are built from: a
+grid of scheduler variants × workload mixes × core counts × seeds, every
+cell an independent simulation.  :class:`CampaignSpec` describes that
+grid declaratively (loadable from TOML/JSON or built in code) and
+:meth:`CampaignSpec.expand` turns it into an ordered list of
+:class:`CampaignJob` descriptions, each keyed by a content hash of
+everything the simulation depends on — the same fingerprint discipline as
+:mod:`repro.sim.diskcache`, so a job's identity survives process
+boundaries, interruptions and spec-file reorderings of unrelated axes.
+
+Expansion is deterministic: the same spec always produces the same jobs
+in the same order (mix sampling is seeded, see
+:func:`repro.workloads.mixes.random_mixes`), which is what lets the
+result store resume an interrupted campaign exactly.
+
+Spec files are TOML (or JSON with the same shape)::
+
+    name = "smoke"
+    schedulers = ["FR-FCFS", "PAR-BS"]   # shorthand for kwarg-free variants
+    marking_caps = [1, 5, "none"]        # expands PAR-BS into one variant/cap
+    num_cores = [4]
+    mix_count = 2                        # seeded random mixes per core count
+    mix_seed = 42
+    seeds = [0]                          # simulation seed axis
+    instructions = 50000
+    mixes = [["mcf", "libquantum", "omnetpp", "hmmer"]]  # explicit extras
+
+    [[variants]]                         # fully explicit variants
+    label = "eslot"
+    scheduler = "PAR-BS"
+    kwargs = { batching = "eslot" }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from ..config import SystemConfig, baseline_system
+from ..sim.diskcache import SIM_FINGERPRINT, content_key
+from ..sim.factory import make_scheduler
+from ..workloads.mixes import (
+    CASE_STUDY_1,
+    CASE_STUDY_2,
+    FIG8_SAMPLE_MIXES,
+    SIXTEEN_CORE_MIXES,
+    random_mixes,
+)
+from ..workloads.profiles import PROFILES
+
+__all__ = [
+    "CampaignJob",
+    "CampaignSpec",
+    "Variant",
+    "job_key",
+    "load_spec",
+    "spec_from_dict",
+]
+
+
+def _freeze_kwargs(kwargs: Mapping[str, Any] | Iterable[tuple[str, Any]]) -> tuple:
+    items = kwargs.items() if isinstance(kwargs, Mapping) else kwargs
+    return tuple(sorted((str(k), v) for k, v in items))
+
+
+@dataclass(frozen=True)
+class Variant:
+    """One scheduler configuration under test, e.g. ``PAR-BS`` with a
+    specific Marking-Cap.  ``kwargs`` is a sorted tuple of pairs so the
+    variant is hashable and content-hash stable."""
+
+    label: str
+    scheduler: str
+    kwargs: tuple[tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            raise ValueError("variant label must be non-empty")
+        object.__setattr__(self, "kwargs", _freeze_kwargs(self.kwargs))
+        # Fail at spec time, not mid-campaign: instantiating the scheduler
+        # validates both the name and the keyword arguments.
+        try:
+            make_scheduler(self.scheduler, 2, **self.kwargs_dict())
+        except (ValueError, TypeError) as exc:
+            raise ValueError(
+                f"variant {self.label!r} is not instantiable: {exc}"
+            ) from None
+
+    def kwargs_dict(self) -> dict[str, Any]:
+        return dict(self.kwargs)
+
+
+@dataclass(frozen=True)
+class CampaignJob:
+    """One cell of the expanded grid: a single independent simulation.
+
+    ``key`` is the full (untruncated) content hash of every input the
+    simulation depends on; it is the job's primary key in the result
+    store and stays stable across processes and campaign re-expansions.
+    """
+
+    key: str
+    num_cores: int
+    workload: tuple[str, ...]
+    mix_index: int  # position in the per-core-count mix list
+    variant: str
+    scheduler: str
+    kwargs: tuple[tuple[str, Any], ...]
+    seed: int
+    instructions: int
+
+    def kwargs_dict(self) -> dict[str, Any]:
+        return dict(self.kwargs)
+
+    def config(self) -> SystemConfig:
+        return baseline_system(self.num_cores)
+
+
+def job_key(
+    config: SystemConfig,
+    workload: Iterable[str],
+    scheduler: str,
+    kwargs: Mapping[str, Any] | Iterable[tuple[str, Any]],
+    instructions: int,
+    seed: int,
+) -> str:
+    """Content hash identifying one simulation (the store's primary key).
+
+    Hashes exactly the fields :meth:`repro.sim.runner.ExperimentRunner._job_key`
+    hashes — a simulation's identity is the same whether it is named by
+    the runner, the pool or the campaign store.
+    """
+    return content_key(
+        [
+            SIM_FINGERPRINT,
+            config,
+            list(workload),
+            scheduler,
+            sorted(_freeze_kwargs(kwargs)),
+            instructions,
+            seed,
+        ]
+    )
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A declarative experiment campaign.
+
+    The grid is ``num_cores × seeds × mixes × variants``; per core count
+    the mix list is (in order) the 4-core case studies, the paper's named
+    sample mixes, explicit ``mixes`` whose length matches, then
+    ``mix_count`` seeded category-balanced random mixes.
+    """
+
+    name: str
+    variants: tuple[Variant, ...]
+    num_cores: tuple[int, ...] = (4,)
+    mix_count: int | None = None  # None = paper-scaled default; 0 = none
+    mix_seed: int = 42
+    mixes: tuple[tuple[str, ...], ...] = ()
+    include_sample_mixes: bool = False
+    include_case_studies: bool = False
+    seeds: tuple[int, ...] = (0,)
+    instructions: int | None = None  # None = default_instructions()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("campaign name must be non-empty")
+        object.__setattr__(self, "variants", tuple(self.variants))
+        object.__setattr__(self, "num_cores", tuple(self.num_cores))
+        object.__setattr__(
+            self, "mixes", tuple(tuple(m) for m in self.mixes)
+        )
+        object.__setattr__(self, "seeds", tuple(self.seeds))
+        if not self.variants:
+            raise ValueError("campaign needs at least one variant")
+        labels = [v.label for v in self.variants]
+        if len(set(labels)) != len(labels):
+            raise ValueError(f"duplicate variant labels in {labels}")
+        if not self.num_cores or any(c < 1 for c in self.num_cores):
+            raise ValueError("num_cores must be a non-empty list of positives")
+        if not self.seeds:
+            raise ValueError("seeds must be non-empty")
+        if self.mix_count is not None and self.mix_count < 0:
+            raise ValueError("mix_count must be >= 0")
+        if self.instructions is not None and self.instructions < 1:
+            raise ValueError("instructions must be positive")
+        unknown = {
+            b for mix in self.mixes for b in mix if b not in PROFILES
+        }
+        if unknown:
+            raise ValueError(f"unknown benchmarks in mixes: {sorted(unknown)}")
+        usable = {len(m) for m in self.mixes}
+        cores = set(self.num_cores)
+        has_generated = self.mix_count != 0 or self.include_sample_mixes or self.include_case_studies
+        if not has_generated and not usable & cores:
+            raise ValueError(
+                "campaign has no mixes: mix_count=0 and no explicit mix "
+                f"matches num_cores={sorted(cores)}"
+            )
+
+    # -- mixes ---------------------------------------------------------------
+    def mixes_for(self, cores: int) -> list[list[str]]:
+        """The ordered mix list for one core count (deterministic)."""
+        out: list[list[str]] = []
+        if self.include_case_studies and cores == 4:
+            out.append(list(CASE_STUDY_1))
+            out.append(list(CASE_STUDY_2))
+        if self.include_sample_mixes:
+            if cores == 4:
+                out.extend(list(m) for m in FIG8_SAMPLE_MIXES)
+            elif cores == 16:
+                out.extend(list(m) for m in SIXTEEN_CORE_MIXES.values())
+        out.extend(list(m) for m in self.mixes if len(m) == cores)
+        if self.mix_count != 0:
+            # Local import: aggregate.py imports this module back.
+            from ..experiments.aggregate import default_workload_count
+
+            count = (
+                self.mix_count
+                if self.mix_count is not None
+                else default_workload_count(cores)
+            )
+            out.extend(random_mixes(cores, count=count, seed=self.mix_seed))
+        return out
+
+    # -- identity ------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable canonical form (spec files round-trip)."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "variants": [
+                {
+                    "label": v.label,
+                    "scheduler": v.scheduler,
+                    "kwargs": {k: val for k, val in v.kwargs},
+                }
+                for v in self.variants
+            ],
+            "num_cores": list(self.num_cores),
+            "mix_count": self.mix_count,
+            "mix_seed": self.mix_seed,
+            "mixes": [list(m) for m in self.mixes],
+            "include_sample_mixes": self.include_sample_mixes,
+            "include_case_studies": self.include_case_studies,
+            "seeds": list(self.seeds),
+            "instructions": self.instructions,
+        }
+
+    def fingerprint(self) -> str:
+        """Content hash identifying this spec (the store's campaign key).
+
+        The resolved instruction count is hashed in, so the "same" spec
+        under a different ``REPRO_SCALE`` is a different campaign — its
+        results are not interchangeable.
+        """
+        return content_key([self.to_dict(), self.resolved_instructions()])
+
+    def resolved_instructions(self) -> int:
+        from ..sim.runner import default_instructions
+
+        return self.instructions or default_instructions()
+
+    # -- expansion -----------------------------------------------------------
+    def expand(self) -> list[CampaignJob]:
+        """The full deterministic job grid, in canonical order.
+
+        Order is cores-major, then seed, then mix, then variant — so all
+        variants of one mix are adjacent (the grouping the reports use).
+        """
+        instructions = self.resolved_instructions()
+        jobs: list[CampaignJob] = []
+        for cores in self.num_cores:
+            config = baseline_system(cores)
+            mixes = self.mixes_for(cores)
+            for seed in self.seeds:
+                for mix_index, mix in enumerate(mixes):
+                    for variant in self.variants:
+                        jobs.append(
+                            CampaignJob(
+                                key=job_key(
+                                    config,
+                                    mix,
+                                    variant.scheduler,
+                                    variant.kwargs,
+                                    instructions,
+                                    seed,
+                                ),
+                                num_cores=cores,
+                                workload=tuple(mix),
+                                mix_index=mix_index,
+                                variant=variant.label,
+                                scheduler=variant.scheduler,
+                                kwargs=variant.kwargs,
+                                seed=seed,
+                                instructions=instructions,
+                            )
+                        )
+        return jobs
+
+    def describe(self) -> str:
+        """Dry-run summary: the grid's shape and size, no simulation."""
+        lines = [
+            f"campaign {self.name!r} (fingerprint {self.fingerprint()[:12]})",
+            f"  instructions/thread: {self.resolved_instructions()}",
+            f"  variants ({len(self.variants)}): "
+            + ", ".join(v.label for v in self.variants),
+            f"  seeds: {list(self.seeds)}",
+        ]
+        total = 0
+        for cores in self.num_cores:
+            mixes = self.mixes_for(cores)
+            cell = len(mixes) * len(self.variants) * len(self.seeds)
+            total += cell
+            lines.append(f"  {cores}-core: {len(mixes)} mixes -> {cell} jobs")
+        lines.append(f"  total: {total} jobs")
+        return "\n".join(lines)
+
+
+# -- spec files ---------------------------------------------------------------
+_CAP_NONE = ("none", "nocap", "no-cap", "null")
+
+
+def spec_from_dict(data: Mapping[str, Any]) -> CampaignSpec:
+    """Build a validated spec from a plain dict (TOML/JSON shape).
+
+    ``schedulers`` is shorthand for kwarg-free variants; ``marking_caps``
+    expands the PAR-BS entry into one variant per cap (use ``"none"`` for
+    the uncapped point, matching Figure 11's x-axis).
+    """
+    data = dict(data)
+    variants: list[Variant] = []
+    caps = data.pop("marking_caps", None)
+    for name in data.pop("schedulers", []) or []:
+        if caps and str(name).strip().lower() in ("par-bs", "parbs"):
+            for cap in caps:
+                if isinstance(cap, str) and cap.strip().lower() in _CAP_NONE:
+                    cap = None
+                label = f"c={cap}" if cap is not None else "no-c"
+                variants.append(
+                    Variant(label, "PAR-BS", (("marking_cap", cap),))
+                )
+        else:
+            variants.append(Variant(str(name), str(name)))
+    if caps and not any(v.scheduler.lower().startswith("par") for v in variants):
+        raise ValueError("marking_caps requires PAR-BS in schedulers")
+    for entry in data.pop("variants", []) or []:
+        scheduler = entry.get("scheduler")
+        if not scheduler:
+            raise ValueError(f"variant entry missing 'scheduler': {entry!r}")
+        variants.append(
+            Variant(
+                str(entry.get("label") or scheduler),
+                str(scheduler),
+                _freeze_kwargs(entry.get("kwargs", {})),
+            )
+        )
+    known = {
+        "name",
+        "description",
+        "num_cores",
+        "mix_count",
+        "mix_seed",
+        "mixes",
+        "include_sample_mixes",
+        "include_case_studies",
+        "seeds",
+        "instructions",
+    }
+    unknown = set(data) - known
+    if unknown:
+        raise ValueError(
+            f"unknown campaign spec keys {sorted(unknown)}; known: "
+            f"{sorted(known | {'schedulers', 'marking_caps', 'variants'})}"
+        )
+    kwargs: dict[str, Any] = {k: data[k] for k in known & set(data)}
+    if "num_cores" in kwargs and isinstance(kwargs["num_cores"], int):
+        kwargs["num_cores"] = (kwargs["num_cores"],)
+    if "seeds" in kwargs and isinstance(kwargs["seeds"], int):
+        kwargs["seeds"] = (kwargs["seeds"],)
+    if not kwargs.get("name"):
+        raise ValueError("campaign spec needs a 'name'")
+    return CampaignSpec(variants=tuple(variants), **kwargs)
+
+
+def load_spec(path: str | Path) -> CampaignSpec:
+    """Load a campaign spec from a ``.toml`` or ``.json`` file."""
+    path = Path(path)
+    text = path.read_text()
+    if path.suffix.lower() == ".json":
+        return spec_from_dict(json.loads(text))
+    try:
+        import tomllib
+    except ImportError as exc:  # pragma: no cover - Python < 3.11
+        raise RuntimeError(
+            "TOML campaign specs need Python 3.11+ (tomllib); "
+            "use a .json spec instead"
+        ) from exc
+    return spec_from_dict(tomllib.loads(text))

@@ -1,0 +1,328 @@
+"""SQLite-backed campaign result store.
+
+One database holds any number of campaigns; each campaign row pins the
+spec (name, canonical JSON, content fingerprint) and each job row holds
+one grid cell — its content-hash key, grid coordinates, lifecycle status
+(``pending``/``done``/``failed``), and, once simulated, the full
+serialized :class:`~repro.metrics.summary.WorkloadResult` payload.
+
+Durability properties the orchestrator builds on:
+
+* the connection runs in WAL mode with ``synchronous=NORMAL``, so one
+  writer streams results while ``campaign status``/``report`` readers
+  query concurrently;
+* every result lands in its own transaction (`record_result`), so an
+  interrupted run loses at most the in-flight simulations — never a
+  recorded one, and never a torn row;
+* a ``schema_version`` table gates forward migrations: opening an older
+  database upgrades it in place inside a transaction, and opening a
+  *newer* database than this code understands refuses loudly instead of
+  corrupting it.
+
+The default database lives next to the simulation disk cache
+(``<REPRO_CACHE_DIR>/campaigns.sqlite``) and can be pointed elsewhere
+with ``REPRO_CAMPAIGN_DB``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from ..sim.diskcache import cache_enabled, default_cache_dir
+from .serde import result_from_json, result_to_json
+from .spec import CampaignJob, CampaignSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..metrics.summary import WorkloadResult
+
+__all__ = ["ResultStore", "SCHEMA_VERSION", "default_db_path"]
+# (results_for/failures_for are the grid-faithful, cross-campaign queries.)
+
+SCHEMA_VERSION = 2
+
+# Forward migrations: version -> SQL applied to reach it from version-1.
+# Version 1 is the base schema; later entries must only ever be appended.
+_MIGRATIONS: dict[int, Sequence[str]] = {
+    1: (
+        """CREATE TABLE campaigns (
+            fingerprint TEXT PRIMARY KEY,
+            name        TEXT NOT NULL,
+            spec_json   TEXT NOT NULL,
+            instructions INTEGER NOT NULL
+        )""",
+        """CREATE TABLE jobs (
+            key         TEXT PRIMARY KEY,
+            campaign    TEXT NOT NULL REFERENCES campaigns(fingerprint),
+            num_cores   INTEGER NOT NULL,
+            mix_index   INTEGER NOT NULL,
+            variant     TEXT NOT NULL,
+            scheduler   TEXT NOT NULL,
+            workload_json TEXT NOT NULL,
+            kwargs_json TEXT NOT NULL,
+            seed        INTEGER NOT NULL,
+            instructions INTEGER NOT NULL,
+            status      TEXT NOT NULL DEFAULT 'pending'
+                        CHECK (status IN ('pending', 'done', 'failed')),
+            attempts    INTEGER NOT NULL DEFAULT 0,
+            error       TEXT,
+            result_json TEXT
+        )""",
+        "CREATE INDEX jobs_by_campaign ON jobs (campaign, status)",
+    ),
+    # v2: record per-job simulation wall time (populated by the
+    # orchestrator; NULL for rows recorded by older code).
+    2: ("ALTER TABLE jobs ADD COLUMN wall_time_s REAL",),
+}
+
+
+def default_db_path() -> str:
+    """Database location: ``REPRO_CAMPAIGN_DB``, else next to the disk
+    cache; an in-memory database when caching is disabled entirely."""
+    env = os.environ.get("REPRO_CAMPAIGN_DB")
+    if env:
+        return env
+    if not cache_enabled():
+        return ":memory:"
+    return str(default_cache_dir() / "campaigns.sqlite")
+
+
+class ResultStore:
+    """Transactional store for campaign job results (one SQLite file)."""
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        raw = str(path) if path is not None else default_db_path()
+        self.path = raw
+        if raw != ":memory:":
+            Path(raw).parent.mkdir(parents=True, exist_ok=True)
+        self._conn = sqlite3.connect(raw)
+        self._conn.row_factory = sqlite3.Row
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.execute("PRAGMA busy_timeout=30000")
+        self._conn.execute("PRAGMA foreign_keys=ON")
+        self._migrate()
+
+    # -- lifecycle -----------------------------------------------------------
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- schema --------------------------------------------------------------
+    def schema_version(self) -> int:
+        row = self._conn.execute("SELECT version FROM schema_version").fetchone()
+        return int(row["version"])
+
+    def _migrate(self) -> None:
+        conn = self._conn
+        conn.execute(
+            "CREATE TABLE IF NOT EXISTS schema_version (version INTEGER NOT NULL)"
+        )
+        row = conn.execute("SELECT version FROM schema_version").fetchone()
+        current = int(row["version"]) if row is not None else 0
+        if current > SCHEMA_VERSION:
+            raise RuntimeError(
+                f"campaign database {self.path!r} has schema v{current}, "
+                f"newer than this code (v{SCHEMA_VERSION}); refusing to touch it"
+            )
+        if current == SCHEMA_VERSION:
+            return
+        with conn:  # one transaction for the whole upgrade
+            for version in range(current + 1, SCHEMA_VERSION + 1):
+                for statement in _MIGRATIONS[version]:
+                    conn.execute(statement)
+            if row is None:
+                conn.execute(
+                    "INSERT INTO schema_version (version) VALUES (?)",
+                    (SCHEMA_VERSION,),
+                )
+            else:
+                conn.execute(
+                    "UPDATE schema_version SET version = ?", (SCHEMA_VERSION,)
+                )
+
+    # -- registration --------------------------------------------------------
+    def register(self, spec: CampaignSpec, jobs: Sequence[CampaignJob]) -> int:
+        """Upsert the campaign row and insert any jobs not yet present.
+
+        Existing job rows (including completed ones) are left untouched —
+        that is the resume contract.  Returns the number of newly inserted
+        jobs.
+        """
+        fingerprint = spec.fingerprint()
+        conn = self._conn
+        with conn:
+            conn.execute(
+                "INSERT INTO campaigns (fingerprint, name, spec_json, instructions) "
+                "VALUES (?, ?, ?, ?) "
+                "ON CONFLICT(fingerprint) DO UPDATE SET name = excluded.name",
+                (
+                    fingerprint,
+                    spec.name,
+                    json.dumps(spec.to_dict(), sort_keys=True),
+                    spec.resolved_instructions(),
+                ),
+            )
+            before = conn.total_changes
+            conn.executemany(
+                "INSERT OR IGNORE INTO jobs "
+                "(key, campaign, num_cores, mix_index, variant, scheduler, "
+                " workload_json, kwargs_json, seed, instructions) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                [
+                    (
+                        job.key,
+                        fingerprint,
+                        job.num_cores,
+                        job.mix_index,
+                        job.variant,
+                        job.scheduler,
+                        json.dumps(list(job.workload)),
+                        json.dumps(job.kwargs_dict(), sort_keys=True),
+                        job.seed,
+                        job.instructions,
+                    )
+                    for job in jobs
+                ],
+            )
+            return conn.total_changes - before
+
+    # -- job lifecycle -------------------------------------------------------
+    def statuses(self, keys: Iterable[str]) -> dict[str, str]:
+        """Status by job key (absent keys are simply missing)."""
+        out: dict[str, str] = {}
+        keys = list(keys)
+        for start in range(0, len(keys), 500):
+            chunk = keys[start : start + 500]
+            marks = ",".join("?" * len(chunk))
+            for row in self._conn.execute(
+                f"SELECT key, status FROM jobs WHERE key IN ({marks})", chunk
+            ):
+                out[row["key"]] = row["status"]
+        return out
+
+    def record_result(
+        self, key: str, result: "WorkloadResult", wall_time_s: float | None = None
+    ) -> None:
+        """Persist one finished simulation (its own committed transaction)."""
+        with self._conn:
+            self._conn.execute(
+                "UPDATE jobs SET status = 'done', result_json = ?, error = NULL, "
+                "attempts = attempts + 1, wall_time_s = ? WHERE key = ?",
+                (result_to_json(result), wall_time_s, key),
+            )
+
+    def record_failure(self, key: str, error: str) -> None:
+        """Mark one job failed (kept pending-equivalent for future resumes)."""
+        with self._conn:
+            self._conn.execute(
+                "UPDATE jobs SET status = 'failed', error = ?, "
+                "attempts = attempts + 1 WHERE key = ?",
+                (error[:2000], key),
+            )
+
+    # -- queries -------------------------------------------------------------
+    def counts(self, fingerprint: str) -> dict[str, int]:
+        out = {"pending": 0, "done": 0, "failed": 0, "total": 0}
+        for row in self._conn.execute(
+            "SELECT status, COUNT(*) AS n FROM jobs WHERE campaign = ? "
+            "GROUP BY status",
+            (fingerprint,),
+        ):
+            out[row["status"]] = int(row["n"])
+            out["total"] += int(row["n"])
+        return out
+
+    def result(self, key: str) -> "WorkloadResult | None":
+        row = self._conn.execute(
+            "SELECT result_json FROM jobs WHERE key = ? AND status = 'done'",
+            (key,),
+        ).fetchone()
+        if row is None or row["result_json"] is None:
+            return None
+        return result_from_json(row["result_json"])
+
+    def results(self, fingerprint: str) -> dict[str, "WorkloadResult"]:
+        """All completed results of a campaign, keyed by job key.
+
+        Only covers rows registered *under* this campaign; jobs shared
+        with an earlier campaign (same content hash) live under that
+        campaign's row.  Grid-faithful readers use :meth:`results_for`
+        with the expanded job keys instead.
+        """
+        return {
+            row["key"]: result_from_json(row["result_json"])
+            for row in self._conn.execute(
+                "SELECT key, result_json FROM jobs "
+                "WHERE campaign = ? AND status = 'done'",
+                (fingerprint,),
+            )
+            if row["result_json"] is not None
+        }
+
+    def results_for(self, keys: Iterable[str]) -> dict[str, "WorkloadResult"]:
+        """Completed results for specific job keys, regardless of which
+        campaign originally registered them (job identity is the content
+        hash, so identical cells are shared across campaigns)."""
+        out: dict[str, "WorkloadResult"] = {}
+        keys = list(keys)
+        for start in range(0, len(keys), 500):
+            chunk = keys[start : start + 500]
+            marks = ",".join("?" * len(chunk))
+            for row in self._conn.execute(
+                f"SELECT key, result_json FROM jobs "
+                f"WHERE key IN ({marks}) AND status = 'done'",
+                chunk,
+            ):
+                if row["result_json"] is not None:
+                    out[row["key"]] = result_from_json(row["result_json"])
+        return out
+
+    def failures_for(self, keys: Iterable[str]) -> dict[str, str]:
+        """Error text for specific failed job keys (cross-campaign)."""
+        out: dict[str, str] = {}
+        keys = list(keys)
+        for start in range(0, len(keys), 500):
+            chunk = keys[start : start + 500]
+            marks = ",".join("?" * len(chunk))
+            for row in self._conn.execute(
+                f"SELECT key, error FROM jobs "
+                f"WHERE key IN ({marks}) AND status = 'failed'",
+                chunk,
+            ):
+                out[row["key"]] = row["error"] or ""
+        return out
+
+    def failures(self, fingerprint: str) -> dict[str, str]:
+        """Error text by job key for failed jobs."""
+        return {
+            row["key"]: row["error"] or ""
+            for row in self._conn.execute(
+                "SELECT key, error FROM jobs "
+                "WHERE campaign = ? AND status = 'failed'",
+                (fingerprint,),
+            )
+        }
+
+    def campaigns(self) -> list[dict]:
+        """Summary row per stored campaign (for ``campaign status``)."""
+        out = []
+        for row in self._conn.execute(
+            "SELECT fingerprint, name, instructions FROM campaigns ORDER BY name"
+        ):
+            entry = {
+                "fingerprint": row["fingerprint"],
+                "name": row["name"],
+                "instructions": int(row["instructions"]),
+            }
+            entry.update(self.counts(row["fingerprint"]))
+            out.append(entry)
+        return out

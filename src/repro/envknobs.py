@@ -1,0 +1,113 @@
+"""Central parsing for the ``REPRO_*`` environment knobs.
+
+Every tunable the suite reads from the environment goes through this
+module so a malformed value fails the same way everywhere: an
+:class:`EnvKnobError` whose message is one line and names the offending
+variable — instead of a bare ``ValueError: invalid literal for int()``
+raised from deep inside a run.  The CLI catches :class:`EnvKnobError` at
+the top level and turns it into a clean ``error: ...`` line and exit
+status 2.
+
+Knobs parsed here:
+
+=========================  ==================================================
+``REPRO_JOBS``             worker processes for independent simulations
+``REPRO_WORKLOADS``        random mixes per aggregate experiment
+``REPRO_SCALE``            float multiplier over default instruction counts
+``REPRO_SAMPLE_INTERVAL``  telemetry sample period in cycles
+``REPRO_CACHE_MAX_MB``     on-disk cache size bound (mtime-LRU pruning)
+=========================  ==================================================
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = [
+    "EnvKnobError",
+    "read_int",
+    "read_float",
+    "read_optional_int",
+    "read_optional_float",
+]
+
+
+class EnvKnobError(ValueError):
+    """A ``REPRO_*`` environment variable holds an unparseable value."""
+
+
+def _raw(name: str, environ: dict | None) -> str | None:
+    env = os.environ if environ is None else environ
+    value = env.get(name)
+    if value is None or value.strip() == "":
+        return None
+    return value.strip()
+
+
+def read_int(
+    name: str,
+    default: int,
+    *,
+    floor: int | None = None,
+    environ: dict | None = None,
+) -> int:
+    """Integer knob ``name``; unset/empty means ``default``.
+
+    Values below ``floor`` are clamped (matching the historical
+    ``max(1, ...)`` behaviour of the individual call sites); a value that
+    is not an integer at all raises :class:`EnvKnobError`.
+    """
+    raw = _raw(name, environ)
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise EnvKnobError(f"{name} must be an integer (got {raw!r})") from None
+    if floor is not None and value < floor:
+        return floor
+    return value
+
+
+def read_float(
+    name: str,
+    default: float,
+    *,
+    floor: float | None = None,
+    environ: dict | None = None,
+) -> float:
+    """Float knob ``name``; unset/empty means ``default``."""
+    raw = _raw(name, environ)
+    if raw is None:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        raise EnvKnobError(f"{name} must be a number (got {raw!r})") from None
+    if floor is not None and value < floor:
+        return floor
+    return value
+
+
+def read_optional_int(
+    name: str,
+    *,
+    floor: int | None = None,
+    environ: dict | None = None,
+) -> int | None:
+    """Integer knob where unset means "feature off" (``None``)."""
+    if _raw(name, environ) is None:
+        return None
+    return read_int(name, 0, floor=floor, environ=environ)
+
+
+def read_optional_float(
+    name: str,
+    *,
+    floor: float | None = None,
+    environ: dict | None = None,
+) -> float | None:
+    """Float knob where unset means "feature off" (``None``)."""
+    if _raw(name, environ) is None:
+        return None
+    return read_float(name, 0.0, floor=floor, environ=environ)

@@ -10,24 +10,29 @@ a laptop (override with the ``REPRO_WORKLOADS`` environment variable or the
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 
 from ..config import baseline_system
+from ..envknobs import read_optional_int
 from ..metrics.summary import WorkloadResult, geomean
 from ..sim.runner import ExperimentRunner
 from ..workloads.mixes import FIG8_SAMPLE_MIXES, SIXTEEN_CORE_MIXES, random_mixes
 from .paper_values import SCHEDULERS, TABLE4
 from .reporting import format_table, print_header
 
-__all__ = ["AggregateResult", "run_aggregate", "default_workload_count"]
+__all__ = [
+    "AggregateResult",
+    "aggregate_spec",
+    "run_aggregate",
+    "default_workload_count",
+]
 
 
 def default_workload_count(num_cores: int) -> int:
     """Number of random mixes per system size (paper: 100 / 16 / 12)."""
-    env = os.environ.get("REPRO_WORKLOADS")
+    env = read_optional_int("REPRO_WORKLOADS", floor=1)
     if env is not None:
-        return max(1, int(env))
+        return env
     return {4: 12, 8: 6, 16: 4}.get(num_cores, 8)
 
 
@@ -87,6 +92,30 @@ class AggregateResult:
         return format_table(headers, rows, title=title)
 
 
+def aggregate_spec(
+    num_cores: int = 4,
+    count: int | None = None,
+    include_sample_mixes: bool = False,
+    seed: int = 42,
+    instructions: int | None = None,
+    sim_seed: int = 0,
+) -> "CampaignSpec":
+    """The campaign spec behind Figures 8/10 for one system size."""
+    from ..campaign.spec import CampaignSpec, Variant
+
+    return CampaignSpec(
+        name=f"aggregate-{num_cores}core",
+        description=f"Paper aggregate comparison, {num_cores}-core system",
+        variants=tuple(Variant(s, s) for s in SCHEDULERS),
+        num_cores=(num_cores,),
+        mix_count=count,
+        mix_seed=seed,
+        include_sample_mixes=include_sample_mixes,
+        seeds=(sim_seed,),
+        instructions=instructions,
+    )
+
+
 def run_aggregate(
     num_cores: int = 4,
     count: int | None = None,
@@ -95,21 +124,65 @@ def run_aggregate(
     include_sample_mixes: bool = False,
     seed: int = 42,
     jobs: int | None = None,
+    store: "ResultStore | None" = None,
 ) -> AggregateResult:
     """Run the paper's aggregate comparison for one system size.
 
     ``include_sample_mixes`` additionally prepends the named sample mixes
     shown on the figure's x-axis (Figure 8's ten mixes for 4 cores,
-    Figure 10's five for 16 cores).  All (mix × scheduler) simulations
-    are independent, so the whole aggregate fans out over ``jobs``
-    worker processes (or ``REPRO_JOBS``) at once — the widest
-    parallelism available in the suite.
+    Figure 10's five for 16 cores).
+
+    The whole grid executes as a campaign: completed (mix × scheduler)
+    cells are read back from the result store (``store``, default: the
+    store at :func:`repro.campaign.store.default_db_path`) and only
+    missing cells are simulated — interrupting and re-running resumes,
+    and a finished aggregate is pure re-query.  Results are bit-identical
+    to running the grid directly through
+    :meth:`~repro.sim.runner.ExperimentRunner.run_many`.
     """
     if count is None:
         count = default_workload_count(num_cores)
-    if runner is None:
-        runner = ExperimentRunner(baseline_system(num_cores), instructions=instructions)
+    sim_seed = 0
+    if runner is not None:
+        if instructions is None:
+            instructions = runner.instructions
+        sim_seed = runner.seed
+        if jobs is None:
+            jobs = runner.jobs
+        if runner.config != baseline_system(num_cores):
+            return _run_aggregate_direct(
+                num_cores, count, runner, include_sample_mixes, seed, jobs
+            )
+    from ..campaign.orchestrator import run_and_collect
 
+    spec = aggregate_spec(
+        num_cores,
+        count=count,
+        include_sample_mixes=include_sample_mixes,
+        seed=seed,
+        instructions=instructions,
+        sim_seed=sim_seed,
+    )
+    results = run_and_collect(spec, store, jobs=jobs)
+    mixes = spec.mixes_for(num_cores)
+    per_mix: dict[str, list[WorkloadResult]] = {s: [] for s in SCHEDULERS}
+    # Grid order is mix-major, variant (= scheduler) minor.
+    for job_index, result in enumerate(results):
+        per_mix[SCHEDULERS[job_index % len(SCHEDULERS)]].append(result)
+    return AggregateResult(num_cores=num_cores, mixes=mixes, per_mix=per_mix)
+
+
+def _run_aggregate_direct(
+    num_cores: int,
+    count: int,
+    runner: ExperimentRunner,
+    include_sample_mixes: bool,
+    seed: int,
+    jobs: int | None,
+) -> AggregateResult:
+    """Direct (non-campaign) path for runners with non-baseline configs,
+    which the campaign grid — pinned to ``baseline_system`` — cannot
+    describe."""
     mixes: list[list[str]] = []
     if include_sample_mixes:
         if num_cores == 4:

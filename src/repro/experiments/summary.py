@@ -85,13 +85,19 @@ def run_table4(
     counts: dict[int, int] | None = None,
     instructions: int | None = None,
     seed: int = 42,
+    store: "ResultStore | None" = None,
 ) -> Table4Result:
-    """Run the full cross-system summary."""
+    """Run the full cross-system summary.
+
+    Each per-core aggregate executes as a campaign against ``store``
+    (default: the store at the default cache location), so an interrupted
+    Table 4 run resumes without redoing completed cells.
+    """
     aggregates = {}
     for cores in core_counts:
         count = (counts or {}).get(cores)
         aggregates[cores] = run_aggregate(
-            cores, count=count, instructions=instructions, seed=seed
+            cores, count=count, instructions=instructions, seed=seed, store=store
         )
     return Table4Result(aggregates=aggregates)
 

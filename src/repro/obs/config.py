@@ -16,6 +16,8 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 
+from ..envknobs import read_optional_int
+
 __all__ = ["TraceConfig"]
 
 
@@ -52,8 +54,7 @@ class TraceConfig:
         """Configuration from ``REPRO_TRACE*``, or ``None`` when unset."""
         env = os.environ if environ is None else environ
         trace_dir = env.get("REPRO_TRACE") or None
-        interval_raw = env.get("REPRO_SAMPLE_INTERVAL")
-        interval = int(interval_raw) if interval_raw else None
+        interval = read_optional_int("REPRO_SAMPLE_INTERVAL", floor=1, environ=env)
         if trace_dir is None and interval is None:
             return None
         events_raw = env.get("REPRO_TRACE_EVENTS")

@@ -23,6 +23,9 @@ Event vocabulary (``category.kind``):
 ``core.stall``           a core's commit blocked on an incomplete DRAM load
 ``core.unstall``         the core resumed retiring instructions
 ``sample.tick``          periodic telemetry sample (see repro.obs.sampler)
+``campaign.start``       campaign run began (total/pending job counts)
+``campaign.job``         one campaign job finished (key, variant, status)
+``campaign.done``        campaign run finished (ran/failed/skipped counts)
 =======================  =====================================================
 
 ``dram.cmd`` events are emitted at *issue* time but stamped with the cycle
@@ -54,8 +57,9 @@ __all__ = [
 ]
 
 # Every event category the simulator emits; ``--trace-events`` selects a
-# subset of these.
-CATEGORIES = ("request", "dram", "batch", "sched", "core", "sample")
+# subset of these.  ``campaign`` events come from the campaign
+# orchestrator (job lifecycle), not from inside a simulation.
+CATEGORIES = ("request", "dram", "batch", "sched", "core", "sample", "campaign")
 
 
 class Probe:

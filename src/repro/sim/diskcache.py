@@ -13,7 +13,11 @@ Environment knobs:
 
 * ``REPRO_CACHE_DIR`` — cache directory (default
   ``$XDG_CACHE_HOME/repro-parbs`` or ``~/.cache/repro-parbs``);
-* ``REPRO_CACHE=0`` — disable the on-disk cache entirely.
+* ``REPRO_CACHE=0`` — disable the on-disk cache entirely;
+* ``REPRO_CACHE_MAX_MB`` — bound the cache size: when set, entries are
+  pruned oldest-``mtime`` first (LRU — hits touch the entry's mtime)
+  until the total size fits.  Pruning runs opportunistically every few
+  writes and on demand via ``repro cache prune``.
 
 ``clear_cache()`` (or simply deleting the directory) resets it; the
 directory layout is ``<root>/<kind>/<hash>.json``.
@@ -29,6 +33,8 @@ import tempfile
 from dataclasses import asdict, is_dataclass
 from pathlib import Path
 
+from ..envknobs import read_optional_float
+
 __all__ = [
     "DiskCache",
     "GLOBAL_STATS",
@@ -36,6 +42,7 @@ __all__ = [
     "clear_cache",
     "content_key",
     "default_cache_dir",
+    "max_cache_mb",
 ]
 
 logger = logging.getLogger(__name__)
@@ -64,6 +71,11 @@ def cache_enabled() -> bool:
     return os.environ.get("REPRO_CACHE", "1").lower() not in ("0", "false", "no", "off")
 
 
+def max_cache_mb() -> float | None:
+    """Size bound in MB from ``REPRO_CACHE_MAX_MB`` (``None`` = unbounded)."""
+    return read_optional_float("REPRO_CACHE_MAX_MB", floor=0.0)
+
+
 def _jsonify(obj):
     if is_dataclass(obj) and not isinstance(obj, type):
         return asdict(obj)
@@ -83,13 +95,28 @@ def content_key(payload) -> str:
 
 
 class DiskCache:
-    """A content-addressed JSON store with hit/miss accounting."""
+    """A content-addressed JSON store with hit/miss accounting.
 
-    def __init__(self, root: str | Path | None = None) -> None:
+    When a size bound is configured (``max_mb`` argument or the
+    ``REPRO_CACHE_MAX_MB`` environment variable) the cache prunes itself
+    back under the bound, oldest ``mtime`` first.  Hits touch the entry's
+    mtime, so the eviction order is least-recently-*used*, not
+    least-recently-written.
+    """
+
+    # Opportunistic prune cadence: checking the bound means statting the
+    # whole tree, so do it every N writes instead of on each put.
+    PRUNE_EVERY = 32
+
+    def __init__(
+        self, root: str | Path | None = None, max_mb: float | None = None
+    ) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
+        self.max_mb = max_mb if max_mb is not None else max_cache_mb()
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        self.pruned = 0
 
     def _path(self, kind: str, key: str) -> Path:
         return self.root / kind / f"{key}.json"
@@ -112,6 +139,11 @@ class DiskCache:
             return None
         self.hits += 1
         GLOBAL_STATS["hits"] += 1
+        try:
+            # LRU touch: keep hot entries at the back of the prune order.
+            os.utime(path)
+        except OSError:  # pragma: no cover - concurrent unlink
+            pass
         logger.info("cache hit: %s/%s", kind, key[:12])
         return value
 
@@ -132,10 +164,69 @@ class DiskCache:
             raise
         self.writes += 1
         GLOBAL_STATS["writes"] += 1
+        if self.max_mb is not None and self.writes % self.PRUNE_EVERY == 0:
+            self.prune()
 
     def stats(self) -> dict[str, int]:
         """Hit/miss/write counters for this cache instance."""
         return {"hits": self.hits, "misses": self.misses, "writes": self.writes}
+
+    # -- size accounting and LRU pruning ------------------------------------
+    def entries(self) -> list[tuple[Path, float, int]]:
+        """Every cache file as ``(path, mtime, size_bytes)``."""
+        out = []
+        if not self.root.exists():
+            return out
+        for path in self.root.rglob("*.json"):
+            try:
+                stat = path.stat()
+            except OSError:  # pragma: no cover - concurrent unlink
+                continue
+            out.append((path, stat.st_mtime, stat.st_size))
+        return out
+
+    def size_bytes(self) -> int:
+        """Total on-disk size of all cache entries."""
+        return sum(size for _path, _mtime, size in self.entries())
+
+    def usage(self) -> dict[str, tuple[int, int]]:
+        """Per-kind ``(entry count, bytes)`` breakdown."""
+        out: dict[str, tuple[int, int]] = {}
+        for path, _mtime, size in self.entries():
+            kind = path.parent.name
+            count, total = out.get(kind, (0, 0))
+            out[kind] = (count + 1, total + size)
+        return out
+
+    def prune(self, max_mb: float | None = None) -> tuple[int, int]:
+        """Delete oldest-mtime entries until the cache fits ``max_mb``.
+
+        Returns ``(entries removed, bytes freed)``.  With no bound
+        configured this is a no-op.
+        """
+        limit = max_mb if max_mb is not None else self.max_mb
+        if limit is None:
+            return (0, 0)
+        budget = int(limit * 1024 * 1024)
+        entries = sorted(self.entries(), key=lambda e: (e[1], e[0]))
+        total = sum(size for _p, _m, size in entries)
+        removed = 0
+        freed = 0
+        for path, _mtime, size in entries:
+            if total - freed <= budget:
+                break
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - concurrent unlink
+                continue
+            removed += 1
+            freed += size
+        if removed:
+            self.pruned += removed
+            logger.info(
+                "cache pruned: %d entries, %.1f MB freed", removed, freed / 1e6
+            )
+        return (removed, freed)
 
     def clear(self) -> int:
         """Delete every cache entry under this root; returns the count."""

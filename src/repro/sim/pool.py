@@ -27,12 +27,12 @@ the serial path byte-for-byte unchanged.
 from __future__ import annotations
 
 import logging
-import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Sequence
 
 from ..config import SystemConfig
+from ..envknobs import read_int
 from ..obs.config import TraceConfig
 from .diskcache import GLOBAL_STATS, content_key
 
@@ -40,17 +40,19 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..metrics.summary import WorkloadResult
     from .runner import ExperimentRunner
 
-__all__ = ["SimJob", "default_jobs", "run_job", "run_jobs"]
+__all__ = ["JOB_STATS", "SimJob", "default_jobs", "run_job", "run_jobs"]
 
 logger = logging.getLogger(__name__)
+
+# Count of simulations actually executed by this process (serial path and
+# pool workers each count their own).  The campaign resume tests read this
+# to prove that a resumed run re-simulates only the missing jobs.
+JOB_STATS = {"executed": 0}
 
 
 def default_jobs() -> int:
     """Worker count from ``REPRO_JOBS`` (default 1 = serial)."""
-    env = os.environ.get("REPRO_JOBS")
-    if env:
-        return max(1, int(env))
-    return 1
+    return read_int("REPRO_JOBS", 1, floor=1)
 
 
 @dataclass(frozen=True)
@@ -109,6 +111,7 @@ def _runner_for(job: SimJob) -> "ExperimentRunner":
 def run_job(job: SimJob) -> "WorkloadResult":
     """Execute one job (also the in-process serial fallback path)."""
     runner = _runner_for(job)
+    JOB_STATS["executed"] += 1
     return runner.run_workload(
         list(job.workload), job.scheduler, **job.scheduler_kwargs
     )

@@ -23,7 +23,6 @@ processes when ``jobs > 1`` (``--jobs`` / ``REPRO_JOBS``).
 
 from __future__ import annotations
 
-import os
 import re
 from dataclasses import asdict, dataclass, replace
 from pathlib import Path
@@ -31,6 +30,7 @@ from typing import Any, Sequence
 
 from ..config import SystemConfig, baseline_system
 from ..cpu.trace import Trace, TraceEntry
+from ..envknobs import read_float
 from ..metrics.summary import ThreadResult, WorkloadResult
 from ..obs import JsonlSink, Telemetry, TraceConfig, Tracer
 from ..schedulers.base import Scheduler
@@ -51,7 +51,7 @@ _DEFAULT_INSTRUCTIONS = 300_000
 
 def default_instructions() -> int:
     """Per-thread instruction-slice length, honouring ``REPRO_SCALE``."""
-    scale = float(os.environ.get("REPRO_SCALE", "1.0"))
+    scale = read_float("REPRO_SCALE", 1.0)
     return max(10_000, int(_DEFAULT_INSTRUCTIONS * scale))
 
 

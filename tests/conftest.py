@@ -27,6 +27,10 @@ def _isolated_disk_cache(tmp_path_factory):
             "REPRO_TRACE_EVENTS",
             "REPRO_SAMPLE_INTERVAL",
             "REPRO_TRACE_PERFETTO",
+            # An inherited campaign store or cache bound would make tests
+            # read/pollute the user's results or prune mid-suite.
+            "REPRO_CAMPAIGN_DB",
+            "REPRO_CACHE_MAX_MB",
         )
     }
     yield

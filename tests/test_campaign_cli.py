@@ -1,0 +1,148 @@
+"""Tests for the `campaign` and `cache` CLI subcommands."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+SMOKE_SPEC = {
+    "name": "clismoke",
+    "schedulers": ["FCFS"],
+    "mix_count": 1,
+    "instructions": 20000,
+}
+
+
+@pytest.fixture()
+def spec_path(tmp_path):
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(SMOKE_SPEC))
+    return str(path)
+
+
+@pytest.fixture()
+def db_path(tmp_path):
+    return str(tmp_path / "store.sqlite")
+
+
+def test_campaign_dry_run(capsys, spec_path, db_path):
+    assert main(["campaign", "run", spec_path, "--db", db_path, "--dry-run"]) == 0
+    out = capsys.readouterr().out
+    assert "clismoke" in out
+    assert "total: 1 jobs" in out
+
+
+def test_campaign_run_status_resume_report_export(capsys, spec_path, db_path):
+    assert main(["campaign", "run", spec_path, "--db", db_path]) == 0
+    out = capsys.readouterr().out
+    assert "campaign clismoke: total=1 ran=1 skipped=0 failed=0 deferred=0" in out
+
+    assert main(["campaign", "status", spec_path, "--db", db_path]) == 0
+    assert "1/1 done" in capsys.readouterr().out
+
+    # resume re-simulates nothing
+    assert main(["campaign", "resume", spec_path, "--db", db_path]) == 0
+    assert "ran=0 skipped=1" in capsys.readouterr().out
+
+    assert main(["campaign", "report", spec_path, "--db", db_path]) == 0
+    report = capsys.readouterr().out
+    assert "# Campaign clismoke" in report
+    assert "FCFS" in report
+
+    assert main(
+        ["campaign", "export", spec_path, "--db", db_path, "--format", "csv"]
+    ) == 0
+    export = capsys.readouterr().out
+    assert export.splitlines()[0].startswith("key,num_cores,seed")
+    assert len(export.splitlines()) == 2
+
+
+def test_campaign_report_to_file(capsys, spec_path, db_path, tmp_path):
+    assert main(["campaign", "run", spec_path, "--db", db_path]) == 0
+    capsys.readouterr()
+    out_file = tmp_path / "report.md"
+    assert main(
+        ["campaign", "report", spec_path, "--db", db_path, "--out", str(out_file)]
+    ) == 0
+    assert "# Campaign clismoke" in out_file.read_text()
+
+
+def test_campaign_status_lists_store(capsys, spec_path, db_path):
+    assert main(["campaign", "status", "--db", db_path]) == 0
+    assert "no campaigns" in capsys.readouterr().out
+    assert main(["campaign", "run", spec_path, "--db", db_path]) == 0
+    capsys.readouterr()
+    assert main(["campaign", "status", "--db", db_path]) == 0
+    assert "clismoke" in capsys.readouterr().out
+
+
+def test_campaign_instructions_flag_overrides_spec(capsys, spec_path, db_path):
+    assert main(
+        ["--instructions", "25000", "campaign", "run", spec_path, "--db", db_path, "--dry-run"]
+    ) == 0
+    assert "instructions/thread: 25000" in capsys.readouterr().out
+
+
+def test_campaign_limit_defers(capsys, tmp_path, db_path):
+    path = tmp_path / "two.json"
+    path.write_text(
+        json.dumps({**SMOKE_SPEC, "schedulers": ["FCFS", "FR-FCFS"]})
+    )
+    assert main(["campaign", "run", str(path), "--db", db_path, "--limit", "1"]) == 0
+    assert "ran=1 skipped=0 failed=0 deferred=1" in capsys.readouterr().out
+
+
+def test_campaign_trace_writes_events(capsys, spec_path, db_path, tmp_path, monkeypatch):
+    trace_dir = tmp_path / "traces"
+    import os
+
+    try:
+        assert main(
+            ["--trace", str(trace_dir), "campaign", "run", spec_path, "--db", db_path]
+        ) == 0
+    finally:
+        for name in ("REPRO_TRACE", "REPRO_TRACE_EVENTS"):
+            os.environ.pop(name, None)
+    events = [
+        json.loads(line)
+        for line in (trace_dir / "campaign-clismoke.jsonl").read_text().splitlines()
+    ]
+    assert events[0]["ev"] == "campaign.start"
+    assert events[-1]["ev"] == "campaign.done"
+
+
+def test_cache_stats_and_clear(capsys, spec_path, db_path):
+    assert main(["campaign", "run", spec_path, "--db", db_path]) == 0
+    capsys.readouterr()
+    assert main(["cache", "stats"]) == 0
+    out = capsys.readouterr().out
+    assert "cache dir:" in out
+    assert "total:" in out
+    assert main(["cache", "clear"]) == 0
+    assert "cleared" in capsys.readouterr().out
+    assert main(["cache", "stats"]) == 0
+    assert "total: 0 entries" in capsys.readouterr().out
+
+
+def test_cache_prune_requires_bound(capsys, monkeypatch):
+    monkeypatch.delenv("REPRO_CACHE_MAX_MB", raising=False)
+    assert main(["cache", "prune"]) == 2
+    assert "REPRO_CACHE_MAX_MB" in capsys.readouterr().err
+
+
+def test_cache_prune_with_bound(capsys, spec_path, db_path):
+    assert main(["campaign", "run", spec_path, "--db", db_path]) == 0
+    capsys.readouterr()
+    assert main(["cache", "prune", "--max-mb", "0"]) == 0
+    assert "pruned" in capsys.readouterr().out
+    assert main(["cache", "stats"]) == 0
+    assert "total: 0 entries" in capsys.readouterr().out
+
+
+def test_envknob_error_exits_2(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_WORKLOADS", "lots")
+    assert main(["--instructions", "20000", "aggregate", "--cores", "4"]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error: REPRO_WORKLOADS")
+    assert "lots" in err

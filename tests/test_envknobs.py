@@ -1,0 +1,89 @@
+"""Tests for centralized environment-knob parsing."""
+
+import pytest
+
+from repro.envknobs import (
+    EnvKnobError,
+    read_float,
+    read_int,
+    read_optional_float,
+    read_optional_int,
+)
+
+
+def test_read_int_default_when_unset():
+    assert read_int("REPRO_TEST_KNOB", 7, environ={}) == 7
+
+
+def test_read_int_empty_string_is_unset():
+    assert read_int("REPRO_TEST_KNOB", 7, environ={"REPRO_TEST_KNOB": ""}) == 7
+
+
+def test_read_int_parses():
+    assert read_int("REPRO_TEST_KNOB", 7, environ={"REPRO_TEST_KNOB": "12"}) == 12
+
+
+def test_read_int_floor_clamps():
+    env = {"REPRO_TEST_KNOB": "0"}
+    assert read_int("REPRO_TEST_KNOB", 7, floor=1, environ=env) == 1
+
+
+def test_read_int_error_names_variable():
+    with pytest.raises(EnvKnobError) as exc:
+        read_int("REPRO_JOBS", 1, environ={"REPRO_JOBS": "many"})
+    message = str(exc.value)
+    assert "REPRO_JOBS" in message
+    assert "many" in message
+    assert "\n" not in message  # one-line, printable as-is by the CLI
+
+
+def test_read_int_rejects_float_text():
+    with pytest.raises(EnvKnobError):
+        read_int("REPRO_WORKLOADS", 1, environ={"REPRO_WORKLOADS": "2.5"})
+
+
+def test_read_float_parses_and_errors():
+    env = {"REPRO_SCALE": "0.5"}
+    assert read_float("REPRO_SCALE", 1.0, environ=env) == 0.5
+    with pytest.raises(EnvKnobError) as exc:
+        read_float("REPRO_SCALE", 1.0, environ={"REPRO_SCALE": "big"})
+    assert "REPRO_SCALE" in str(exc.value)
+
+
+def test_read_optional_int():
+    assert read_optional_int("REPRO_TEST_KNOB", environ={}) is None
+    env = {"REPRO_TEST_KNOB": "3"}
+    assert read_optional_int("REPRO_TEST_KNOB", environ=env) == 3
+    with pytest.raises(EnvKnobError):
+        read_optional_int("REPRO_TEST_KNOB", environ={"REPRO_TEST_KNOB": "x"})
+
+
+def test_read_optional_float_floor():
+    env = {"REPRO_CACHE_MAX_MB": "-5"}
+    assert read_optional_float("REPRO_CACHE_MAX_MB", floor=0.0, environ=env) == 0.0
+
+
+def test_envknob_error_is_value_error():
+    # Callers that caught ValueError from the old int() parsing still work.
+    assert issubclass(EnvKnobError, ValueError)
+
+
+def test_default_jobs_uses_knobs(monkeypatch):
+    from repro.sim.pool import default_jobs
+
+    monkeypatch.setenv("REPRO_JOBS", "4")
+    assert default_jobs() == 4
+    monkeypatch.setenv("REPRO_JOBS", "0")
+    assert default_jobs() == 1  # floor preserved from the legacy max(1, ...)
+    monkeypatch.setenv("REPRO_JOBS", "nope")
+    with pytest.raises(EnvKnobError):
+        default_jobs()
+
+
+def test_default_workload_count_uses_knobs(monkeypatch):
+    from repro.experiments.aggregate import default_workload_count
+
+    monkeypatch.setenv("REPRO_WORKLOADS", "9")
+    assert default_workload_count(4) == 9
+    monkeypatch.delenv("REPRO_WORKLOADS")
+    assert default_workload_count(4) == 12

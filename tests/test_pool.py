@@ -71,6 +71,68 @@ def test_disk_cache_drops_corrupt_entries(tmp_path):
     assert not path.exists()
 
 
+def _put_sized(cache: DiskCache, kind: str, key: str, kilobytes: int) -> None:
+    cache.put(kind, key, "x" * (kilobytes * 1024))
+
+
+def test_cache_size_accounting(tmp_path):
+    cache = DiskCache(tmp_path)
+    _put_sized(cache, "alone", "a", 10)
+    _put_sized(cache, "trace", "b", 20)
+    usage = cache.usage()
+    assert usage["alone"][0] == 1 and usage["trace"][0] == 1
+    assert cache.size_bytes() == sum(b for _n, b in usage.values())
+    assert cache.size_bytes() > 30 * 1024
+
+
+def test_prune_unbounded_is_noop(tmp_path):
+    cache = DiskCache(tmp_path)  # no max_mb, no REPRO_CACHE_MAX_MB
+    _put_sized(cache, "alone", "a", 10)
+    assert cache.prune() == (0, 0)
+    assert cache.get("alone", "a") is not None
+
+
+def test_prune_evicts_oldest_mtime_first(tmp_path):
+    cache = DiskCache(tmp_path)
+    for i, key in enumerate(("old", "mid", "new")):
+        _put_sized(cache, "alone", key, 100)
+        os.utime(cache._path("alone", key), (i, i))  # deterministic mtimes
+    removed, freed = cache.prune(max_mb=0.12)  # keeps ~one 100 KB entry
+    assert removed == 2
+    assert freed > 0
+    assert cache.get("alone", "new") is not None
+    assert cache.get("alone", "old") is None
+    assert cache.get("alone", "mid") is None
+
+
+def test_hit_touches_mtime_for_lru(tmp_path):
+    cache = DiskCache(tmp_path)
+    for i, key in enumerate(("first", "second")):
+        _put_sized(cache, "alone", key, 100)
+        os.utime(cache._path("alone", key), (i, i))
+    # Touch "first": it becomes most-recently-used and must survive.
+    assert cache.get("alone", "first") is not None
+    cache.prune(max_mb=0.12)
+    assert cache._path("alone", "first").exists()
+    assert not cache._path("alone", "second").exists()
+
+
+def test_bounded_cache_prunes_opportunistically(tmp_path):
+    cache = DiskCache(tmp_path, max_mb=0.05)  # 50 KB budget
+    for i in range(DiskCache.PRUNE_EVERY):
+        _put_sized(cache, "alone", f"k{i}", 10)
+    # The PRUNE_EVERY-th put triggered a prune back under budget.
+    assert cache.pruned > 0
+    assert cache.size_bytes() <= 0.05 * 1024 * 1024
+
+
+def test_max_mb_resolved_from_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_MAX_MB", "12.5")
+    assert DiskCache(tmp_path).max_mb == 12.5
+    monkeypatch.delenv("REPRO_CACHE_MAX_MB")
+    assert DiskCache(tmp_path).max_mb is None
+
+
 def test_cache_enabled_env(monkeypatch):
     monkeypatch.delenv("REPRO_CACHE", raising=False)
     assert cache_enabled()

@@ -127,3 +127,54 @@ def test_random_mixes_span_categories():
     mixes = random_mixes(4, count=20, seed=5)
     cats = {profile(b).category for m in mixes for b in m}
     assert len(cats) >= 6  # broad category coverage
+
+
+# Golden sample pinning the mix-sampling algorithm.  Campaign job keys
+# hash the sampled mixes, so a silent change to the sampling procedure
+# (category order, RNG usage, dedup rule) would orphan every stored
+# result; this literal makes such a change an explicit, visible choice.
+GOLDEN_MIXES_4CORE_SEED42 = [
+    ["omnetpp", "hmmer", "soplex", "cactusADM"],
+    ["omnetpp", "mcf", "cactusADM", "hmmer"],
+    ["sjeng", "mcf", "namd", "lbm"],
+    ["gromacs", "lbm", "gobmk", "mcf"],
+    ["mcf", "gromacs", "bzip2", "milc"],
+]
+
+
+def test_random_mixes_golden_sample():
+    assert random_mixes(4, count=5, seed=42) == GOLDEN_MIXES_4CORE_SEED42
+
+
+def test_random_mixes_prefix_stable():
+    # Asking for more mixes extends the list; it must not reshuffle the
+    # prefix (campaigns with different mix_count share job keys).
+    assert random_mixes(4, count=12, seed=42)[:5] == GOLDEN_MIXES_4CORE_SEED42
+
+
+def test_random_mixes_cross_process_determinism():
+    """The sample is identical in a fresh interpreter (no hidden global
+    state, no hash randomization dependence)."""
+    import json
+    import os
+    import subprocess
+    import sys
+
+    import repro
+
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    out = subprocess.run(
+        [
+            sys.executable,
+            "-c",
+            "import json; from repro.workloads.mixes import random_mixes; "
+            "print(json.dumps(random_mixes(4, count=5, seed=42)))",
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    assert json.loads(out.stdout) == GOLDEN_MIXES_4CORE_SEED42
