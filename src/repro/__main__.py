@@ -24,6 +24,8 @@ import sys
 
 from .config import baseline_system
 from .envknobs import EnvKnobError
+from .events import SimulationStalled
+from .guard import InvariantViolation
 from .experiments.ablations import (
     batching_choice_sweep,
     marking_cap_sweep,
@@ -81,6 +83,17 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker processes for independent simulations "
         "(default: REPRO_JOBS or 1)",
+    )
+    parser.add_argument(
+        "--guard",
+        nargs="?",
+        const="strict",
+        choices=("check", "strict"),
+        default=None,
+        metavar="MODE",
+        help="enable runtime invariant checking: 'strict' (default) raises "
+        "on the first violation, 'check' collects and logs them "
+        "(exports REPRO_GUARD)",
     )
     parser.add_argument(
         "-v",
@@ -157,6 +170,22 @@ def _build_parser() -> argparse.ArgumentParser:
         )
         runp.add_argument("--retries", type=int, default=2)
         runp.add_argument(
+            "--chaos",
+            metavar="SPEC",
+            default=None,
+            help="fault-injection plan, e.g. 'kill=0.3,corrupt=0.5,seed=7' "
+            "(rates per fault kind; exports REPRO_CHAOS so pool workers "
+            "share the plan)",
+        )
+        runp.add_argument(
+            "--job-timeout",
+            type=float,
+            metavar="SECONDS",
+            default=None,
+            help="no-progress timeout for pool workers "
+            "(default: REPRO_JOB_TIMEOUT_S)",
+        )
+        runp.add_argument(
             "--dry-run",
             action="store_true",
             help="print the expanded grid summary and exit",
@@ -213,6 +242,10 @@ def main(argv: list[str] | None = None) -> int:
         # helpers) resolves its default worker count from REPRO_JOBS, so
         # exporting it here reaches all subcommands uniformly.
         os.environ["REPRO_JOBS"] = str(max(1, args.jobs))
+    if args.guard is not None:
+        # Every System resolves its guard from REPRO_GUARD (pool workers
+        # included), so the flag reaches all subcommands uniformly.
+        os.environ["REPRO_GUARD"] = args.guard
     # Observability flags export the REPRO_TRACE* environment variables so
     # every runner constructed inside experiment helpers — and every pool
     # worker — resolves the same TraceConfig (the --jobs/REPRO_JOBS pattern).
@@ -230,6 +263,11 @@ def main(argv: list[str] | None = None) -> int:
     except EnvKnobError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except (InvariantViolation, SimulationStalled) as exc:
+        # Structured failures from the guard layer: the message already
+        # carries cycle/bank/request context or the stall diagnostic dump.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     if args.command != "list":
         from .sim.diskcache import GLOBAL_STATS
 
@@ -341,6 +379,14 @@ def _dispatch_campaign(args: argparse.Namespace, instructions: int | None) -> in
         if args.dry_run:
             print(spec.describe())
             return 0
+        chaos = None
+        if args.chaos is not None:
+            from .guard.chaos import ChaosPlan
+
+            chaos = ChaosPlan.parse(args.chaos)
+            # Export the *resolved* plan (its marker dir pinned) so pool
+            # workers share the same once-only fault markers.
+            os.environ["REPRO_CHAOS"] = chaos.spec()
         probe = None
         tracer = None
         trace_dir = os.environ.get("REPRO_TRACE")
@@ -365,6 +411,8 @@ def _dispatch_campaign(args: argparse.Namespace, instructions: int | None) -> in
                     limit=args.limit,
                     retries=args.retries,
                     probe=probe,
+                    chaos=chaos,
+                    job_timeout_s=args.job_timeout,
                 )
         finally:
             if tracer is not None:

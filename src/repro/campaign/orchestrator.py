@@ -20,17 +20,20 @@ events) when a probe is supplied, and through ``logging`` always.
 from __future__ import annotations
 
 import logging
+import os
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
 from ..config import baseline_system
+from ..guard.chaos import ChaosPlan, chaos_from_env
 from ..metrics.summary import WorkloadResult
 from ..obs.config import TraceConfig
 from ..obs.trace import Probe
 from ..sim import pool
-from ..sim.diskcache import cache_enabled, default_cache_dir
-from ..sim.pool import SimJob
+from ..sim.diskcache import DiskCache, cache_enabled, default_cache_dir
+from ..sim.pool import POOL_INCIDENT_LIMIT, SimJob, terminate_pool
 from .spec import CampaignJob, CampaignSpec
 from .store import ResultStore
 
@@ -106,13 +109,44 @@ def run_campaign(
     retries: int = 2,
     backoff_s: float = 0.5,
     probe: Probe | None = None,
+    chaos: ChaosPlan | None = None,
+    job_timeout_s: float | None = None,
 ) -> RunStats:
     """Run every grid cell of ``spec`` that the store does not have yet.
 
     ``limit`` caps how many missing jobs this invocation simulates (the
     campaign smoke tests use it to model an interruption); ``jobs`` is
     the worker process count (default: ``REPRO_JOBS``).
+
+    ``chaos`` (or the ``REPRO_CHAOS`` environment knob) activates fault
+    injection: disk-cache entries the plan selects are corrupted up
+    front, store commits see injected SQLite errors, and pool workers
+    are killed/hung per the plan — all deterministic and once-only, so a
+    chaos run converges to the same stored results as a clean one.
+    ``job_timeout_s`` (default ``REPRO_JOB_TIMEOUT_S``) is the parallel
+    path's no-progress timeout.
     """
+    if chaos is None:
+        chaos = chaos_from_env()
+    if job_timeout_s is None:
+        job_timeout_s = pool.default_job_timeout()
+    if chaos is not None and os.environ.get("REPRO_CHAOS") != chaos.spec():
+        # Jobs resolve the plan from the environment (that is how pool
+        # workers see it), so export the resolved plan — marker dir
+        # pinned — for the duration of the run, then re-enter.
+        saved_chaos = os.environ.get("REPRO_CHAOS")
+        os.environ["REPRO_CHAOS"] = chaos.spec()
+        try:
+            return run_campaign(
+                spec, store, jobs=jobs, limit=limit, retries=retries,
+                backoff_s=backoff_s, probe=probe, chaos=chaos,
+                job_timeout_s=job_timeout_s,
+            )
+        finally:
+            if saved_chaos is None:
+                os.environ.pop("REPRO_CHAOS", None)
+            else:
+                os.environ["REPRO_CHAOS"] = saved_chaos
     grid = spec.expand()
     store.register(spec, grid)
     statuses = store.statuses(job.key for job in grid)
@@ -148,6 +182,12 @@ def run_campaign(
 
     trace = TraceConfig.from_env() or TraceConfig()
     cache_dir = str(default_cache_dir()) if cache_enabled() else None
+    if chaos is not None:
+        store.chaos = chaos
+        if cache_dir is not None:
+            # Corrupt selected cache entries up front so the quarantine +
+            # recompute path runs under this campaign, not a later one.
+            chaos.corrupt_cache(DiskCache(cache_dir))
     if workers > 1 and cache_dir is not None:
         _prewarm_baselines(to_run, trace)
 
@@ -187,7 +227,8 @@ def run_campaign(
         _run_serial(to_run, trace, cache_dir, retries, backoff_s, stats, committed, gave_up)
     else:
         _run_parallel(
-            to_run, trace, cache_dir, workers, retries, backoff_s, stats, committed, gave_up
+            to_run, trace, cache_dir, workers, retries, backoff_s, stats,
+            committed, gave_up, job_timeout_s,
         )
     if probe is not None:
         probe.emit(
@@ -221,24 +262,78 @@ def _run_serial(to_run, trace, cache_dir, retries, backoff_s, stats, committed, 
 
 
 def _run_parallel(
-    to_run, trace, cache_dir, workers, retries, backoff_s, stats, committed, gave_up
+    to_run, trace, cache_dir, workers, retries, backoff_s, stats, committed, gave_up,
+    job_timeout_s,
 ):
-    with ProcessPoolExecutor(max_workers=workers) as executor:
-        inflight: dict[Future, tuple[CampaignJob, int, float]] = {}
+    """Pool execution with pool-death recovery.
 
-        def submit(job: CampaignJob, attempt: int) -> None:
-            future = executor.submit(pool.run_job, _sim_job(job, trace, cache_dir))
+    Each pool *generation* runs until its jobs finish or the pool breaks
+    (worker killed, or no job finishing within ``job_timeout_s``).  A
+    broken generation is torn down without orphaning workers, the
+    unfinished jobs requeue into a fresh pool — pool death is not the
+    job's fault, so it is not charged as an attempt — and after
+    :data:`~repro.sim.pool.POOL_INCIDENT_LIMIT` incidents the survivors
+    run serially.  Job-level exceptions still consume ``retries``
+    attempts with capped backoff, exactly like the serial path.
+    """
+    remaining: list[tuple[CampaignJob, int]] = [(job, 0) for job in to_run]
+    incidents = 0
+    while remaining:
+        if incidents >= POOL_INCIDENT_LIMIT:
+            logger.warning(
+                "worker pool failed %d times; running %d unfinished jobs serially",
+                incidents,
+                len(remaining),
+            )
+            _run_serial(
+                [job for job, _attempt in remaining],
+                trace, cache_dir, retries, backoff_s, stats, committed, gave_up,
+            )
+            return
+        executor = ProcessPoolExecutor(max_workers=min(workers, len(remaining)))
+        inflight: dict[Future, tuple[CampaignJob, int, float]] = {}
+        requeue: list[tuple[CampaignJob, int]] = []
+        broken: str | None = None
+
+        def submit(job: CampaignJob, attempt: int) -> bool:
+            try:
+                future = executor.submit(
+                    pool.run_job, _sim_job(job, trace, cache_dir)
+                )
+            except BrokenProcessPool:
+                requeue.append((job, attempt))
+                return False
             inflight[future] = (job, attempt, time.perf_counter())
+            return True
 
         try:
-            for job in to_run:
-                submit(job, 0)
-            while inflight:
-                finished, _pending = wait(inflight, return_when=FIRST_COMPLETED)
+            for position, (job, attempt) in enumerate(remaining):
+                if not submit(job, attempt):
+                    # The pool died before everything was in: requeue the
+                    # not-yet-submitted tail too (submit() already queued
+                    # the failing job itself).
+                    requeue.extend(remaining[position + 1:])
+                    broken = "pool broken at submit"
+                    break
+            while inflight and broken is None:
+                finished, _pending = wait(
+                    inflight, timeout=job_timeout_s, return_when=FIRST_COMPLETED
+                )
+                if not finished:
+                    broken = (
+                        f"no job finished within {job_timeout_s:g}s "
+                        f"(pool presumed hung)"
+                    )
+                    break
                 for future in finished:
                     job, attempt, started = inflight.pop(future)
                     try:
                         result = future.result()
+                    except BrokenProcessPool:
+                        # The pool died under this job: requeue at the
+                        # same attempt — not the job's fault.
+                        requeue.append((job, attempt))
+                        broken = "worker died"
                     except Exception as exc:
                         if attempt >= retries:
                             gave_up(job, exc)
@@ -253,8 +348,30 @@ def _run_parallel(
                         committed(job, result, time.perf_counter() - started)
         except KeyboardInterrupt:
             # Everything already committed stays committed; drop the rest.
-            executor.shutdown(wait=False, cancel_futures=True)
+            terminate_pool(executor)
+            logger.error(
+                "campaign interrupted: %d results committed, %d jobs dropped "
+                "(resume with `repro campaign resume`)",
+                stats.ran,
+                len(inflight),
+            )
             raise
+        except BaseException:
+            terminate_pool(executor)
+            raise
+        if broken is None and not requeue:
+            executor.shutdown()
+            return
+        terminate_pool(executor)
+        incidents += 1
+        remaining = requeue + [
+            (job, attempt) for job, attempt, _started in inflight.values()
+        ]
+        logger.warning(
+            "worker pool incident (%s); respawning pool for %d unfinished jobs",
+            broken or "submit failure",
+            len(remaining),
+        )
 
 
 def run_and_collect(

@@ -27,8 +27,10 @@ with ``REPRO_CAMPAIGN_DB``.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import sqlite3
+import time
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Sequence
 
@@ -42,7 +44,16 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["ResultStore", "SCHEMA_VERSION", "default_db_path"]
 # (results_for/failures_for are the grid-faithful, cross-campaign queries.)
 
+logger = logging.getLogger(__name__)
+
 SCHEMA_VERSION = 2
+
+# Transient-commit retry policy: SQLite raises OperationalError for lock
+# contention ("database is locked") — and chaos injection mimics exactly
+# that — so result commits back off and retry before giving up.
+_COMMIT_RETRIES = 4
+_COMMIT_BACKOFF_S = 0.05
+_COMMIT_BACKOFF_MAX_S = 1.0
 
 # Forward migrations: version -> SQL applied to reach it from version-1.
 # Version 1 is the base schema; later entries must only ever be appended.
@@ -96,6 +107,10 @@ class ResultStore:
     def __init__(self, path: str | Path | None = None) -> None:
         raw = str(path) if path is not None else default_db_path()
         self.path = raw
+        # Optional :class:`~repro.guard.chaos.ChaosPlan`: when set, result
+        # commits are subjected to injected OperationalErrors (exercising
+        # the same retry path real lock contention takes).
+        self.chaos = None
         if raw != ":memory:":
             Path(raw).parent.mkdir(parents=True, exist_ok=True)
         self._conn = sqlite3.connect(raw)
@@ -209,25 +224,50 @@ class ResultStore:
                 out[row["key"]] = row["status"]
         return out
 
+    def _commit_with_retry(self, key: str, sql: str, params: tuple) -> None:
+        """One-row commit resilient to transient ``OperationalError``
+        (lock contention under concurrent readers, chaos injection):
+        capped exponential backoff, then re-raise."""
+        for attempt in range(_COMMIT_RETRIES + 1):
+            try:
+                if self.chaos is not None:
+                    self.chaos.sqlite_hiccup(key)
+                with self._conn:
+                    self._conn.execute(sql, params)
+                return
+            except sqlite3.OperationalError as exc:
+                if attempt >= _COMMIT_RETRIES:
+                    raise
+                delay = min(
+                    _COMMIT_BACKOFF_S * (2**attempt), _COMMIT_BACKOFF_MAX_S
+                )
+                logger.warning(
+                    "store commit for %s hit %s; retrying in %.2fs",
+                    key[:12],
+                    exc,
+                    delay,
+                )
+                time.sleep(delay)
+
     def record_result(
         self, key: str, result: "WorkloadResult", wall_time_s: float | None = None
     ) -> None:
         """Persist one finished simulation (its own committed transaction)."""
-        with self._conn:
-            self._conn.execute(
-                "UPDATE jobs SET status = 'done', result_json = ?, error = NULL, "
-                "attempts = attempts + 1, wall_time_s = ? WHERE key = ?",
-                (result_to_json(result), wall_time_s, key),
-            )
+        self._commit_with_retry(
+            key,
+            "UPDATE jobs SET status = 'done', result_json = ?, error = NULL, "
+            "attempts = attempts + 1, wall_time_s = ? WHERE key = ?",
+            (result_to_json(result), wall_time_s, key),
+        )
 
     def record_failure(self, key: str, error: str) -> None:
         """Mark one job failed (kept pending-equivalent for future resumes)."""
-        with self._conn:
-            self._conn.execute(
-                "UPDATE jobs SET status = 'failed', error = ?, "
-                "attempts = attempts + 1 WHERE key = ?",
-                (error[:2000], key),
-            )
+        self._commit_with_retry(
+            key,
+            "UPDATE jobs SET status = 'failed', error = ?, "
+            "attempts = attempts + 1 WHERE key = ?",
+            (error[:2000], key),
+        )
 
     # -- queries -------------------------------------------------------------
     def counts(self, fingerprint: str) -> dict[str, int]:

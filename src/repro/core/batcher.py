@@ -82,12 +82,18 @@ class Batcher:
         self._marks_used: dict[tuple[int, int, int], int] = defaultdict(int)
         # ``batch``-category trace probe; bound in :meth:`attach`.
         self._p_batch = None
+        # Invariant checker (probe-or-None); bound in :meth:`attach`.
+        self._guard = None
 
     # -- wiring ------------------------------------------------------------
     def attach(self, controller: "MemoryController") -> None:
         self.controller = controller
         tracer = getattr(controller, "tracer", None)
         self._p_batch = tracer.probe("batch") if tracer is not None else None
+        guard = getattr(controller, "guard", None)
+        self._guard = guard
+        if guard is not None:
+            guard.attach_batcher(self)
 
     def priority_of(self, thread_id: int) -> int:
         return self.priorities.get(thread_id, 1)
@@ -134,6 +140,9 @@ class Batcher:
             self.batches_formed += 1
             self._batch_start_time = now
         self.on_new_batch(marked, now)
+        guard = self._guard
+        if guard is not None:
+            guard.on_batch_formed(now, self, marked)
 
     # -- events from the scheduler ------------------------------------------------
     def request_arrived(self, request: MemoryRequest, now: int) -> None:

@@ -154,6 +154,9 @@ class ParBsScheduler(Scheduler):
             # little or no backlog rank highest (shortest job first).
             backlog = list(self.controller.buffered_reads())
             self._ranks = self.ranking.rank(backlog, threads=range(self.num_threads))
+            guard = self._guard
+            if guard is not None:
+                guard.on_ranks(self._ranks, marked, now)
         probe = self.batcher._p_batch
         if probe is not None and marked:
             per_thread: dict[int, int] = {}

@@ -110,10 +110,14 @@ class MemoryController:
         arbitration: str = "index",
         tracer: "Tracer | None" = None,
         telemetry: "Telemetry | None" = None,
+        guard=None,
     ) -> None:
         if arbitration not in ("index", "scan", "verify"):
             raise ValueError(f"unknown arbitration mode {arbitration!r}")
         self.queue = queue
+        # Robustness: runtime invariant checker (probe-or-None, like the
+        # trace probes — ``--guard off`` leaves every hook site None).
+        self.guard = guard
         # Observability: per-category probes resolve to None when tracing
         # is off (or the category is filtered), so every instrumented hot
         # path below guards with a single local `is not None` check.
@@ -172,6 +176,10 @@ class MemoryController:
         self.read_occupancy = 0
         self.peak_read_occupancy = 0
 
+        if guard is not None:
+            # Before scheduler.attach: the scheduler/batcher attach path
+            # reads ``controller.guard`` to bind their own hooks.
+            guard.attach_controller(self)
         scheduler.attach(self)
 
     # ------------------------------------------------------------------ API
@@ -297,6 +305,12 @@ class MemoryController:
                         now, "dram.drain", on=1, writes=self._write_occupancy
                     )
             self.scheduler.on_enqueue(request, now)
+        guard = self.guard
+        if guard is not None:
+            # After the scheduler hooks: marking/batching state is settled,
+            # and the per-bank thread counts include this request (the
+            # batch-bound deadline is derived from them).
+            guard.on_enqueue(request, now)
         self._schedule_wake(key, now)
 
     # --------------------------------------------------------- event plumbing
@@ -389,6 +403,12 @@ class MemoryController:
         channel: Channel,
         bank: "Bank",
     ) -> None:
+        guard = self.guard
+        if guard is not None:
+            # Before any buffer mutation: a scheduler that double-issues is
+            # caught here as a structured violation, not as corruption of
+            # the request buffers below.
+            guard.on_pre_issue(request, key, now)
         if request.is_read:
             self._reads[key].remove(request)
             self._reads_per_thread[request.thread_id] -= 1
@@ -409,6 +429,8 @@ class MemoryController:
         request.issue_time = now
         outcome = bank.service(request, now, channel.bus)
         request.service_outcome = outcome
+        if guard is not None:
+            guard.on_post_issue(request, outcome, key, now)
         probe = self._p_req
         if probe is not None:
             probe.emit(
@@ -503,6 +525,9 @@ class MemoryController:
                 bank=request.bank,
                 latency=latency,
             )
+        guard = self.guard
+        if guard is not None:
+            guard.on_complete(request, now)
         self.scheduler.on_complete(request, now)
         if request.on_complete is not None:
             # The fixed controller/interconnect overhead is charged on the

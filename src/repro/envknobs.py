@@ -16,6 +16,9 @@ Knobs parsed here:
 ``REPRO_SCALE``            float multiplier over default instruction counts
 ``REPRO_SAMPLE_INTERVAL``  telemetry sample period in cycles
 ``REPRO_CACHE_MAX_MB``     on-disk cache size bound (mtime-LRU pruning)
+``REPRO_GUARD``            invariant checking mode (off/check/strict)
+``REPRO_CHAOS``            fault-injection plan spec for campaign runs
+``REPRO_JOB_TIMEOUT_S``    per-job wall-clock timeout in pool/campaign workers
 =========================  ==================================================
 """
 
@@ -29,6 +32,7 @@ __all__ = [
     "read_float",
     "read_optional_int",
     "read_optional_float",
+    "read_choice",
 ]
 
 
@@ -99,6 +103,29 @@ def read_optional_int(
     if _raw(name, environ) is None:
         return None
     return read_int(name, 0, floor=floor, environ=environ)
+
+
+def read_choice(
+    name: str,
+    default: str,
+    *,
+    choices: tuple[str, ...],
+    environ: dict | None = None,
+) -> str:
+    """Enumerated knob ``name``; unset/empty means ``default``.
+
+    The value is lower-cased before matching, so ``REPRO_GUARD=STRICT``
+    works; anything outside ``choices`` raises :class:`EnvKnobError`.
+    """
+    raw = _raw(name, environ)
+    if raw is None:
+        return default
+    value = raw.lower()
+    if value not in choices:
+        raise EnvKnobError(
+            f"{name} must be one of {', '.join(choices)} (got {raw!r})"
+        )
+    return value
 
 
 def read_optional_float(

@@ -15,11 +15,23 @@ from __future__ import annotations
 import heapq
 from typing import Callable
 
-__all__ = ["EventQueue", "PeriodicTask", "SimulationError"]
+__all__ = ["EventQueue", "PeriodicTask", "SimulationError", "SimulationStalled"]
 
 
 class SimulationError(RuntimeError):
     """Raised when the simulation reaches an inconsistent state."""
+
+
+class SimulationStalled(SimulationError):
+    """The no-progress watchdog fired: bounded cycles passed with zero
+    instruction commits.  Carries a diagnostic dump of queue/bank/batch
+    state (see :func:`repro.guard.diagnostics.stall_report`) so a
+    livelock is debuggable instead of silently burning the event budget.
+    """
+
+    def __init__(self, message: str, report: str = "") -> None:
+        self.report = report
+        super().__init__(message)
 
 
 class PeriodicTask:

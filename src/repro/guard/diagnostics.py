@@ -1,0 +1,92 @@
+"""Stall diagnostics for the no-progress watchdog.
+
+When :meth:`repro.sim.system.System.run` observes a full watchdog window
+with zero instruction commits it calls :func:`stall_report` to capture a
+human-readable snapshot of where the simulation is wedged — the event
+queue, every core's retirement/MSHR state, the controller's buffer and
+bank occupancy, the batcher's outstanding marks — plus the tail of the
+trace ring buffer when one is attached.  The report rides on the
+:class:`~repro.events.SimulationStalled` exception so a livelocked run
+fails with an actionable dump instead of silently burning the
+``max_events`` budget.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.system import System
+
+__all__ = ["stall_report"]
+
+# How many trailing ring-buffer events to include in the dump.
+_RING_TAIL = 20
+
+
+def stall_report(system: "System", events: int) -> str:
+    """A multi-line snapshot of a (suspected) livelocked ``system``."""
+    queue = system.queue
+    controller = system.controller
+    lines = [
+        "=== simulation stall report ===",
+        f"time: {queue.now} cycles, events processed: {events}, "
+        f"pending events: {len(queue)}",
+    ]
+    next_time = queue.peek_time()
+    if next_time is not None:
+        lines.append(f"next event at: {next_time}")
+
+    lines.append("-- cores --")
+    for core in system.cores:
+        lines.append(
+            f"core {core.thread_id}: retired={core.instructions_retired} "
+            f"pending_loads={len(core._pending)} mshr={core.mshr_in_use}"
+        )
+
+    lines.append("-- controller --")
+    lines.append(
+        f"buffered reads={controller.read_occupancy} "
+        f"writes={controller.write_occupancy} "
+        f"draining_writes={controller.draining_writes}"
+    )
+    for key, index in sorted(controller.read_indexes()):
+        channel_id, bank_id = key
+        bank = controller.channels[channel_id].banks[bank_id]
+        threads = dict(controller.buffered_read_threads(key))
+        lines.append(
+            f"bank ch{channel_id}/b{bank_id}: {index.size} buffered reads "
+            f"(threads {threads}), open_row={bank.open_row}, "
+            f"busy_until={bank.busy_until}"
+        )
+    pending_wakes = sorted(controller._bank_wake.items())
+    if pending_wakes:
+        lines.append(f"pending bank wakes: {pending_wakes}")
+    else:
+        lines.append("pending bank wakes: none (no arbitration scheduled)")
+
+    batcher = getattr(controller.scheduler, "batcher", None)
+    if batcher is not None:
+        marks = {
+            key: used for key, used in batcher._marks_used.items() if used
+        }
+        lines.append("-- batcher --")
+        lines.append(
+            f"{type(batcher).__name__}: cap={batcher.marking_cap} "
+            f"marks_in_flight={marks or 'none'}"
+        )
+
+    tracer = system.tracer
+    if tracer is not None:
+        for sink in tracer.sinks:
+            events_attr = getattr(sink, "events", None)
+            if events_attr is None:
+                continue
+            tail = list(events_attr)[-_RING_TAIL:]
+            if not tail:
+                continue
+            lines.append(f"-- trace ring buffer (last {len(tail)} events) --")
+            lines.extend(str(event) for event in tail)
+
+    lines.append("=== end stall report ===")
+    return "\n".join(lines)

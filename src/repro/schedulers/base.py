@@ -76,6 +76,8 @@ class Scheduler(ABC):
         # ``sched``-category trace probe, bound in :meth:`attach`; None
         # whenever tracing is off, so instrumented paths stay free.
         self._p_sched = None
+        # Runtime invariant checker (probe-or-None); bound in :meth:`attach`.
+        self._guard = None
 
     # -- lifecycle hooks ---------------------------------------------------
     def attach(self, controller: "MemoryController") -> None:
@@ -83,6 +85,7 @@ class Scheduler(ABC):
         self.controller = controller
         tracer = getattr(controller, "tracer", None)
         self._p_sched = tracer.probe("sched") if tracer is not None else None
+        self._guard = getattr(controller, "guard", None)
 
     def bump_index_epoch(self, now: int) -> None:
         """Invalidate every bank's cached priority heaps (and trace it)."""

@@ -52,8 +52,9 @@ logger = logging.getLogger(__name__)
 SIM_FINGERPRINT = "parbs-sim-v1"
 
 # Aggregate counters across every DiskCache instance in this process —
-# the observable "did the suite hit the cache?" signal.
-GLOBAL_STATS = {"hits": 0, "misses": 0, "writes": 0}
+# the observable "did the suite hit the cache?" signal.  ``quarantined``
+# counts corrupt/truncated entries renamed aside and recomputed.
+GLOBAL_STATS = {"hits": 0, "misses": 0, "writes": 0, "quarantined": 0}
 
 
 def default_cache_dir() -> Path:
@@ -117,6 +118,7 @@ class DiskCache:
         self.misses = 0
         self.writes = 0
         self.pruned = 0
+        self.quarantined = 0
 
     def _path(self, kind: str, key: str) -> Path:
         return self.root / kind / f"{key}.json"
@@ -131,9 +133,12 @@ class DiskCache:
             self.misses += 1
             GLOBAL_STATS["misses"] += 1
             return None
-        except (OSError, json.JSONDecodeError):
-            # Corrupt or unreadable entry: drop it and recompute.
-            path.unlink(missing_ok=True)
+        except (OSError, json.JSONDecodeError) as exc:
+            # Corrupt or truncated entry (torn write, disk fault, chaos
+            # injection): quarantine it aside for inspection — the
+            # ``.corrupt`` suffix keeps it out of ``entries()``/pruning —
+            # count it, and let the caller recompute.  Never crash the run.
+            self._quarantine(path, exc)
             self.misses += 1
             GLOBAL_STATS["misses"] += 1
             return None
@@ -146,6 +151,23 @@ class DiskCache:
             pass
         logger.info("cache hit: %s/%s", kind, key[:12])
         return value
+
+    def _quarantine(self, path: Path, exc: Exception) -> None:
+        aside = path.with_name(path.name + ".corrupt")
+        try:
+            os.replace(path, aside)
+        except OSError:
+            # Rename failed (e.g. concurrent unlink): best-effort removal.
+            path.unlink(missing_ok=True)
+            aside = None
+        self.quarantined += 1
+        GLOBAL_STATS["quarantined"] += 1
+        logger.warning(
+            "cache entry %s is corrupt (%s); quarantined %s",
+            path.name,
+            exc,
+            f"to {aside.name}" if aside is not None else "and removed",
+        )
 
     def put(self, kind: str, key: str, value) -> None:
         """Store ``value`` atomically under ``(kind, key)``."""
@@ -169,7 +191,12 @@ class DiskCache:
 
     def stats(self) -> dict[str, int]:
         """Hit/miss/write counters for this cache instance."""
-        return {"hits": self.hits, "misses": self.misses, "writes": self.writes}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "quarantined": self.quarantined,
+        }
 
     # -- size accounting and LRU pruning ------------------------------------
     def entries(self) -> list[tuple[Path, float, int]]:
@@ -233,7 +260,8 @@ class DiskCache:
         removed = 0
         if not self.root.exists():
             return 0
-        for path in self.root.rglob("*.json"):
+        # ``*.json*`` also sweeps quarantined ``.json.corrupt`` files.
+        for path in self.root.rglob("*.json*"):
             path.unlink(missing_ok=True)
             removed += 1
         return removed

@@ -27,12 +27,14 @@ the serial path byte-for-byte unchanged.
 from __future__ import annotations
 
 import logging
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Sequence
 
 from ..config import SystemConfig
-from ..envknobs import read_int
+from ..envknobs import read_int, read_optional_float
+from ..guard.chaos import ChaosInjectedError, chaos_from_env
 from ..obs.config import TraceConfig
 from .diskcache import GLOBAL_STATS, content_key
 
@@ -40,7 +42,16 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..metrics.summary import WorkloadResult
     from .runner import ExperimentRunner
 
-__all__ = ["JOB_STATS", "SimJob", "default_jobs", "run_job", "run_jobs"]
+__all__ = [
+    "JOB_STATS",
+    "POOL_INCIDENT_LIMIT",
+    "SimJob",
+    "default_job_timeout",
+    "default_jobs",
+    "run_job",
+    "run_jobs",
+    "terminate_pool",
+]
 
 logger = logging.getLogger(__name__)
 
@@ -49,10 +60,22 @@ logger = logging.getLogger(__name__)
 # to prove that a resumed run re-simulates only the missing jobs.
 JOB_STATS = {"executed": 0}
 
+# After this many pool incidents (worker deaths, no-progress timeouts) the
+# engine stops respawning pools and runs the survivors serially.
+POOL_INCIDENT_LIMIT = 2
+
 
 def default_jobs() -> int:
     """Worker count from ``REPRO_JOBS`` (default 1 = serial)."""
     return read_int("REPRO_JOBS", 1, floor=1)
+
+
+def default_job_timeout() -> float | None:
+    """Per-job no-progress timeout in seconds from ``REPRO_JOB_TIMEOUT_S``
+    (``None`` = no timeout).  Applied to pool and campaign workers: if no
+    job completes within the window the pool is presumed hung, its workers
+    are terminated, and the unfinished jobs are retried."""
+    return read_optional_float("REPRO_JOB_TIMEOUT_S", floor=0.1)
 
 
 @dataclass(frozen=True)
@@ -108,8 +131,28 @@ def _runner_for(job: SimJob) -> "ExperimentRunner":
     return runner
 
 
+def job_chaos_key(job: SimJob) -> str:
+    """Stable fault-injection key for one job (what the job *simulates*,
+    not how it is cached/traced, so serial and pooled runs agree)."""
+    return content_key(
+        [
+            job.config,
+            list(job.workload),
+            job.scheduler,
+            sorted(job.scheduler_kwargs.items()),
+            job.instructions,
+            job.seed,
+        ]
+    )
+
+
 def run_job(job: SimJob) -> "WorkloadResult":
     """Execute one job (also the in-process serial fallback path)."""
+    chaos = chaos_from_env()
+    if chaos is not None:
+        # Fault injection: a selected job kills/hangs its worker process
+        # (or raises ChaosInjectedError when running in-process) — once.
+        chaos.maybe_kill_worker(job_chaos_key(job))
     runner = _runner_for(job)
     JOB_STATS["executed"] += 1
     return runner.run_workload(
@@ -117,33 +160,167 @@ def run_job(job: SimJob) -> "WorkloadResult":
     )
 
 
-def run_jobs(jobs: Sequence[SimJob], workers: int | None = None) -> list["WorkloadResult"]:
+def run_jobs(
+    jobs: Sequence[SimJob],
+    workers: int | None = None,
+    job_timeout_s: float | None = None,
+) -> list["WorkloadResult"]:
     """Run ``jobs``, fanning out over ``workers`` processes.
 
     Results are returned in submission order.  With ``workers <= 1`` (or
     a single job) everything runs in-process, bypassing the pool.
+
+    The parallel path degrades gracefully: a broken pool (worker killed
+    by the OS, the OOM killer, or chaos injection) or a no-progress
+    timeout (``job_timeout_s`` / ``REPRO_JOB_TIMEOUT_S``) terminates the
+    surviving workers, respawns a fresh pool, and retries only the
+    unfinished jobs; after :data:`POOL_INCIDENT_LIMIT` incidents the
+    survivors run serially.  Completed results are never lost, and
+    determinism is preserved — retried jobs are pure functions of their
+    description.
     """
     jobs = list(jobs)
     if workers is None:
         workers = default_jobs()
+    if job_timeout_s is None:
+        job_timeout_s = default_job_timeout()
     if workers <= 1 or len(jobs) <= 1:
         results = [run_job(job) for job in jobs]
         _log_cache_report()
         return results
     workers = min(workers, len(jobs))
     logger.info("running %d simulations over %d worker processes", len(jobs), workers)
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        results = list(pool.map(run_job, jobs, chunksize=1))
+    results = _run_pool(jobs, workers, job_timeout_s)
     _log_cache_report()
     return results
+
+
+class _PoolIncident(Exception):
+    """Internal: the worker pool broke or stopped making progress."""
+
+
+def terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down without leaving orphaned workers: cancel queued
+    work, terminate live processes, then release executor resources."""
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # pragma: no cover - defensive
+        pass
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except Exception:  # pragma: no cover - already dead
+            pass
+    for process in list(processes.values()):
+        try:
+            process.join(timeout=5.0)
+        except Exception:  # pragma: no cover - defensive
+            pass
+
+
+def _run_pool(
+    jobs: list[SimJob], workers: int, timeout_s: float | None
+) -> list["WorkloadResult"]:
+    results: dict[int, "WorkloadResult"] = {}
+    remaining = list(range(len(jobs)))
+    incidents = 0
+    while remaining:
+        try:
+            _pool_pass(jobs, remaining, workers, timeout_s, results)
+        except _PoolIncident as incident:
+            incidents += 1
+            remaining = [i for i in remaining if i not in results]
+            if incidents >= POOL_INCIDENT_LIMIT:
+                logger.warning(
+                    "worker pool failed %d times (%s); running %d unfinished "
+                    "jobs serially",
+                    incidents,
+                    incident,
+                    len(remaining),
+                )
+                for index in remaining:
+                    try:
+                        results[index] = run_job(jobs[index])
+                    except ChaosInjectedError:
+                        # The injection marker fired before the raise, so
+                        # one retry runs clean.
+                        results[index] = run_job(jobs[index])
+                remaining = []
+            else:
+                logger.warning(
+                    "worker pool incident (%s); respawning pool for %d "
+                    "unfinished jobs",
+                    incident,
+                    len(remaining),
+                )
+        else:
+            remaining = [i for i in remaining if i not in results]
+    return [results[i] for i in range(len(jobs))]
+
+
+def _pool_pass(
+    jobs: list[SimJob],
+    indexes: list[int],
+    workers: int,
+    timeout_s: float | None,
+    results: dict[int, "WorkloadResult"],
+) -> None:
+    """One pool lifetime: run ``indexes`` until done or the pool breaks.
+
+    Completed results accumulate into ``results`` (so nothing finished is
+    lost when the pool dies); a broken pool or a no-progress window
+    raises :class:`_PoolIncident` after terminating every worker.
+    """
+    pool = ProcessPoolExecutor(max_workers=min(workers, len(indexes)))
+    try:
+        futures = {pool.submit(run_job, jobs[i]): i for i in indexes}
+        pending = set(futures)
+        while pending:
+            done, pending = wait(
+                pending, timeout=timeout_s, return_when=FIRST_COMPLETED
+            )
+            if not done:
+                raise _PoolIncident(
+                    f"no simulation finished within {timeout_s:g}s; "
+                    f"pool presumed hung"
+                )
+            for future in done:
+                try:
+                    results[futures[future]] = future.result()
+                except BrokenProcessPool as exc:
+                    raise _PoolIncident(f"worker died: {exc}") from None
+        pool.shutdown()
+    except _PoolIncident:
+        terminate_pool(pool)
+        raise
+    except BrokenProcessPool as exc:
+        # submit() on an already-broken pool raises directly.
+        terminate_pool(pool)
+        raise _PoolIncident(f"pool broken: {exc}") from None
+    except KeyboardInterrupt:
+        terminate_pool(pool)
+        logger.error(
+            "interrupted: %d/%d simulations completed (their artifacts "
+            "are preserved in the disk cache)",
+            len(results),
+            len(jobs),
+        )
+        raise
+    except BaseException:
+        # A job's own exception (or anything unexpected): clean up the
+        # workers, then let it propagate unchanged.
+        terminate_pool(pool)
+        raise
 
 
 def _log_cache_report() -> None:
     """One-line disk-cache digest after a batch of jobs (submitting process
     only; worker-side hits stay in the workers)."""
     logger.info(
-        "disk cache: %d hits, %d misses, %d writes",
+        "disk cache: %d hits, %d misses, %d writes, %d quarantined",
         GLOBAL_STATS["hits"],
         GLOBAL_STATS["misses"],
         GLOBAL_STATS["writes"],
+        GLOBAL_STATS["quarantined"],
     )

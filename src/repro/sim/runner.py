@@ -31,6 +31,7 @@ from typing import Any, Sequence
 from ..config import SystemConfig, baseline_system
 from ..cpu.trace import Trace, TraceEntry
 from ..envknobs import read_float
+from ..guard import guard_from_env
 from ..metrics.summary import ThreadResult, WorkloadResult
 from ..obs import JsonlSink, Telemetry, TraceConfig, Tracer
 from ..schedulers.base import Scheduler
@@ -215,6 +216,7 @@ class ExperimentRunner:
             make_scheduler("FR-FCFS", 1),
             [trace],
             repeat=False,
+            guard=guard_from_env(),
         )
         system.run()
         core = system.cores[0]
@@ -317,6 +319,9 @@ class ExperimentRunner:
             repeat=True,
             tracer=tracer,
             telemetry=telemetry,
+            # ``--guard`` / REPRO_GUARD: a fresh invariant checker per run
+            # (the guard is stateful); None keeps every hook site free.
+            guard=guard_from_env(),
         )
         try:
             sim_cycles = system.run()

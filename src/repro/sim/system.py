@@ -20,10 +20,15 @@ from ..cpu.trace import Trace
 from ..dram.address import AddressMapping
 from ..dram.controller import MemoryController
 from ..dram.request import MemoryRequest, RequestType
-from ..events import EventQueue, SimulationError
+from ..events import EventQueue, SimulationError, SimulationStalled
 from ..schedulers.base import Scheduler
 
 __all__ = ["DramPort", "System"]
+
+# No-progress watchdog: every this-many events, check that at least one
+# instruction retired somewhere; a single int compare per event keeps the
+# hot loop at bench-gate speed.
+_WATCHDOG_CHECK_EVENTS = 1 << 18
 
 
 class DramPort:
@@ -87,6 +92,11 @@ class System:
         Optional :class:`~repro.obs.sampler.Telemetry` recorder; attaches
         its periodic sampler to this system and receives per-request
         latencies from the controller.
+    guard:
+        Optional :class:`~repro.guard.Guard` runtime invariant checker;
+        the controller, batcher and scheduler discover it at attach time
+        (probe-or-None, like ``tracer``).  ``None`` (default) compiles
+        every check to a no-op.
     """
 
     def __init__(
@@ -99,6 +109,7 @@ class System:
         arbitration: str = "index",
         tracer=None,
         telemetry=None,
+        guard=None,
     ) -> None:
         if len(traces) != config.num_cores:
             raise ValueError(
@@ -108,6 +119,7 @@ class System:
         self.queue = EventQueue()
         self.tracer = tracer
         self.telemetry = telemetry
+        self.guard = guard
         self.controller = MemoryController(
             self.queue,
             config.dram,
@@ -116,6 +128,7 @@ class System:
             arbitration=arbitration,
             tracer=tracer,
             telemetry=telemetry,
+            guard=guard,
         )
         self.mapping = config.dram.mapping()
         self.port = DramPort(self.controller, self.mapping)
@@ -155,17 +168,27 @@ class System:
     def _core_finished(self, core: Core) -> None:
         self._finished += 1
 
-    def run(self, max_events: int | None = 200_000_000) -> int:
+    def run(
+        self,
+        max_events: int | None = 200_000_000,
+        watchdog_cycles: int | None = 2_000_000,
+    ) -> int:
         """Run until every core finishes its trace once.
 
         Returns the simulation time (cycles) at which the last core
-        finished.  Raises if the event budget is exhausted first.
+        finished.  Raises if the event budget is exhausted first, or —
+        when at least ``watchdog_cycles`` simulated cycles pass with zero
+        instruction commits anywhere — a :class:`SimulationStalled`
+        carrying a diagnostic dump of queue/core/bank/batch state
+        (``watchdog_cycles=None`` disables the watchdog).
 
         This loop is the simulator's outermost hot path, so it dispatches
         events straight off the kernel's heap instead of going through
         :meth:`EventQueue.step` (which documents the reference semantics);
         ``schedule()`` already rejects past times, making step's
-        monotonicity check redundant here.
+        monotonicity check redundant here.  The watchdog costs one int
+        compare per event; the full progress check runs only every
+        ``_WATCHDOG_CHECK_EVENTS`` events.
         """
         for core in self.cores:
             core.start()
@@ -175,6 +198,9 @@ class System:
         num_cores = len(self.cores)
         budget = max_events if max_events is not None else float("inf")
         events = 0
+        next_check = _WATCHDOG_CHECK_EVENTS if watchdog_cycles is not None else budget + 1
+        last_retired = -1
+        progress_time = 0
         while self._finished < num_cores:
             if not heap:
                 raise SimulationError(
@@ -188,7 +214,27 @@ class System:
                 raise SimulationError(
                     f"exceeded event budget ({max_events}); simulation stuck?"
                 )
+            if events >= next_check:
+                next_check = events + _WATCHDOG_CHECK_EVENTS
+                retired = 0
+                for core in self.cores:
+                    retired += core.instructions_retired
+                if retired != last_retired:
+                    last_retired = retired
+                    progress_time = when
+                elif when - progress_time >= watchdog_cycles:
+                    from ..guard.diagnostics import stall_report
+
+                    report = stall_report(self, events)
+                    raise SimulationStalled(
+                        f"no instruction committed in {when - progress_time} "
+                        f"cycles ({events} events processed); simulation is "
+                        f"livelocked\n{report}",
+                        report=report,
+                    )
         self.events_processed = events
         if self.telemetry is not None:
             self.telemetry.finalize(queue.now)
+        if self.guard is not None:
+            self.guard.finalize(queue.now)
         return queue.now

@@ -31,6 +31,11 @@ def _isolated_disk_cache(tmp_path_factory):
             # read/pollute the user's results or prune mid-suite.
             "REPRO_CAMPAIGN_DB",
             "REPRO_CACHE_MAX_MB",
+            # Inherited guard/chaos/timeout knobs would change scheduler
+            # hot-path behavior or inject faults into unrelated tests.
+            "REPRO_GUARD",
+            "REPRO_CHAOS",
+            "REPRO_JOB_TIMEOUT_S",
         )
     }
     yield

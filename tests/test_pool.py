@@ -57,7 +57,7 @@ def test_disk_cache_roundtrip_and_clear(tmp_path):
     assert cache.get("alone", "k") is None
     cache.put("alone", "k", {"ipc": 1.25})
     assert cache.get("alone", "k") == {"ipc": 1.25}
-    assert cache.stats() == {"hits": 1, "misses": 1, "writes": 1}
+    assert cache.stats() == {"hits": 1, "misses": 1, "writes": 1, "quarantined": 0}
     assert clear_cache(tmp_path) == 1
     assert cache.get("alone", "k") is None
 
