@@ -8,20 +8,35 @@ Emits one JSON object so results are machine-diffable::
     PYTHONPATH=src python benchmarks/bench_simrate.py
     PYTHONPATH=src python benchmarks/bench_simrate.py --scheduler FR-FCFS \
         --instructions 50000
+    PYTHONPATH=src python benchmarks/bench_simrate.py --backend fast
+    PYTHONPATH=src python benchmarks/bench_simrate.py --backend fast --profile
+
+``--backend`` selects the simulation backend (``python`` reference object
+model or the ``fast`` flat-array kernel — bit-identical event trajectories,
+so the deterministic event/cycle counts must agree).  ``--profile`` wraps
+the measured run in :mod:`cProfile` and writes a cumtime-sorted report next
+to the baseline JSON.
 
 The committed throughput baseline lives in ``BENCH_simrate.json`` at the
 repository root: per-scheduler events/sec and simulated cycles/sec for all
-five policies.  Two maintenance modes operate on it::
+five policies, per backend, plus the fast-backend speedup gate
+(``fast_gate``).  Two maintenance modes operate on it::
 
     # refresh the baseline (run on the reference machine after perf work)
     PYTHONPATH=src python benchmarks/bench_simrate.py --update-baseline
 
     # regression gate: fail if any scheduler's events/sec drops more than
-    # --tolerance (default 20%) below the committed baseline
+    # --tolerance (default 20%) below the committed baseline, or the fast
+    # backend falls under fast_gate (min_ratio x the frozen reference)
     PYTHONPATH=src python benchmarks/bench_simrate.py --check
 
 Baselines are machine-specific; the check is meant to catch large
-algorithmic regressions, hence the generous default tolerance.
+algorithmic regressions, hence the generous default tolerance.  The
+``fast_gate`` reference numbers are different: they are the *frozen*
+python-backend throughput of the commit that introduced the fast backend,
+a ratchet that ``--update-baseline`` never rewrites — the fast backend
+must stay ``min_ratio`` times faster than the simulator it replaced, not
+merely faster than last week's build.
 
 Also runs under pytest (``pytest benchmarks/bench_simrate.py``) as a
 smoke check that throughput is measurable and sane.
@@ -47,13 +62,31 @@ BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_simrate.json"
 # two mid-intensity threads — exercises every scheduler code path.
 WORKLOAD = ("libquantum", "mcf", "GemsFDTD", "xalancbmk")
 
+# Fast-backend speedup ratchet.  ``reference`` is the python-backend
+# events/sec of the pre-fast-backend build on the reference machine,
+# frozen forever; the fast backend must sustain ``min_ratio`` times these
+# numbers.  Shared-path optimizations that also speed the python backend
+# raise the rolling per-backend baselines above but never loosen this gate.
+FAST_GATE = {
+    "reference": {"FR-FCFS": 128361.8, "PAR-BS": 104806.4},
+    "min_ratio": 3.0,
+}
+
 
 def measure(
     scheduler: str = "PAR-BS",
     instructions: int = 100_000,
     seed: int = 0,
+    backend: str = "python",
+    profile_path: Path | None = None,
 ) -> dict:
-    """Run the fixed workload once and report throughput numbers."""
+    """Run the fixed workload once and report throughput numbers.
+
+    With ``profile_path``, the measured run executes under
+    :mod:`cProfile` and a cumtime-sorted report is written there (the
+    wall-clock numbers then include profiling overhead — use them to read
+    *where* time goes, not how much).
+    """
     config = baseline_system(len(WORKLOAD))
     # cache_dir=None: measure simulation speed, not cache hits.
     runner = ExperimentRunner(
@@ -61,15 +94,37 @@ def measure(
     )
     traces = [runner.trace_for(b) for b in WORKLOAD]
     system = System(
-        config, make_scheduler(scheduler, len(WORKLOAD)), traces, repeat=True
+        config,
+        make_scheduler(scheduler, len(WORKLOAD)),
+        traces,
+        repeat=True,
+        backend=backend,
     )
-    start = time.perf_counter()
-    sim_cycles = system.run()
-    wall = time.perf_counter() - start
+    if profile_path is not None:
+        import cProfile
+        import io
+        import pstats
+
+        profiler = cProfile.Profile()
+        start = time.perf_counter()
+        profiler.enable()
+        sim_cycles = system.run()
+        profiler.disable()
+        wall = time.perf_counter() - start
+        stream = io.StringIO()
+        stats = pstats.Stats(profiler, stream=stream)
+        stats.sort_stats("cumulative").print_stats(40)
+        stats.sort_stats("tottime").print_stats(25)
+        profile_path.write_text(stream.getvalue())
+    else:
+        start = time.perf_counter()
+        sim_cycles = system.run()
+        wall = time.perf_counter() - start
     events = system.events_processed
     return {
         "workload": list(WORKLOAD),
         "scheduler": scheduler,
+        "backend": backend,
         "instructions_per_thread": instructions,
         "events": events,
         "sim_cycles": sim_cycles,
@@ -80,14 +135,17 @@ def measure(
 
 
 def run_all(
-    instructions: int = 100_000, seed: int = 0, repeats: int = 3
+    instructions: int = 100_000,
+    seed: int = 0,
+    repeats: int = 3,
+    backend: str = "python",
 ) -> dict[str, dict]:
     """Best-of-``repeats`` measurement for every paper scheduler."""
     results: dict[str, dict] = {}
     for scheduler in SCHEDULERS:
         best: dict | None = None
         for _ in range(repeats):
-            result = measure(scheduler, instructions, seed)
+            result = measure(scheduler, instructions, seed, backend)
             if best is None or result["events_per_sec"] > best["events_per_sec"]:
                 best = result
         results[scheduler] = best
@@ -100,65 +158,100 @@ def update_baseline(
     seed: int = 0,
     repeats: int = 3,
 ) -> dict:
-    """Measure all schedulers and (re)write the committed baseline file."""
-    results = run_all(instructions, seed, repeats)
+    """Measure every scheduler on both backends and (re)write the committed
+    baseline file.  ``fast_gate`` is re-emitted verbatim from
+    :data:`FAST_GATE` — the ratchet is code, not measurement."""
     payload = {
         "workload": list(WORKLOAD),
         "instructions_per_thread": instructions,
         "seed": seed,
         "repeats": repeats,
-        "schedulers": {
-            name: {
-                "events": r["events"],
-                "sim_cycles": r["sim_cycles"],
-                "events_per_sec": round(r["events_per_sec"], 1),
-                "sim_cycles_per_sec": round(r["sim_cycles_per_sec"], 1),
-            }
-            for name, r in results.items()
-        },
+        "backends": {},
+        "fast_gate": FAST_GATE,
     }
+    for backend in ("python", "fast"):
+        results = run_all(instructions, seed, repeats, backend)
+        payload["backends"][backend] = {
+            "schedulers": {
+                name: {
+                    "events": r["events"],
+                    "sim_cycles": r["sim_cycles"],
+                    "events_per_sec": round(r["events_per_sec"], 1),
+                    "sim_cycles_per_sec": round(r["sim_cycles_per_sec"], 1),
+                }
+                for name, r in results.items()
+            }
+        }
     path.write_text(json.dumps(payload, indent=2) + "\n")
     return payload
 
 
 def check_baseline(
-    path: Path = BASELINE_PATH, tolerance: float = 0.20, repeats: int = 3
+    path: Path = BASELINE_PATH,
+    tolerance: float = 0.20,
+    repeats: int = 3,
+    backends: list[str] | None = None,
 ) -> int:
     """Regression gate against the committed baseline.
 
     Fails (non-zero return) if any scheduler's measured events/sec falls
-    more than ``tolerance`` below the baseline.  Simulated event and cycle
-    counts are deterministic, so a drift there is reported too — it means
-    behaviour changed and the baseline needs a refresh, not that the
-    machine is slow.
+    more than ``tolerance`` below its backend's baseline, or — when the
+    fast backend is checked — if FR-FCFS/PAR-BS fast throughput falls
+    under ``fast_gate`` (``min_ratio`` times the frozen pre-fast-backend
+    reference).  Simulated event and cycle counts are deterministic, so a
+    drift there is reported too — it means behaviour changed and the
+    baseline needs a refresh, not that the machine is slow.
     """
     baseline = json.loads(path.read_text())
-    results = run_all(
-        baseline["instructions_per_thread"], baseline["seed"], repeats
-    )
+    selected = backends if backends is not None else list(baseline["backends"])
     failures: list[str] = []
-    for name, ref in baseline["schedulers"].items():
-        got = results[name]
-        floor = ref["events_per_sec"] * (1.0 - tolerance)
-        status = "ok"
-        if got["events_per_sec"] < floor:
-            status = "REGRESSION"
-            failures.append(
-                f"{name}: {got['events_per_sec']:.0f} events/sec is below "
-                f"{floor:.0f} (baseline {ref['events_per_sec']:.0f} "
-                f"- {tolerance:.0%})"
-            )
-        print(
-            f"{name:8s} {got['events_per_sec']:>10.0f} events/sec "
-            f"(baseline {ref['events_per_sec']:>10.0f})  {status}"
+    measured: dict[str, dict[str, dict]] = {}
+    for backend in selected:
+        ref_schedulers = baseline["backends"][backend]["schedulers"]
+        results = run_all(
+            baseline["instructions_per_thread"], baseline["seed"], repeats, backend
         )
-        if got["events"] != ref["events"] or got["sim_cycles"] != ref["sim_cycles"]:
+        measured[backend] = results
+        for name, ref in ref_schedulers.items():
+            got = results[name]
+            floor = ref["events_per_sec"] * (1.0 - tolerance)
+            status = "ok"
+            if got["events_per_sec"] < floor:
+                status = "REGRESSION"
+                failures.append(
+                    f"{backend}/{name}: {got['events_per_sec']:.0f} events/sec "
+                    f"is below {floor:.0f} (baseline {ref['events_per_sec']:.0f} "
+                    f"- {tolerance:.0%})"
+                )
             print(
-                f"{name:8s} note: simulated work changed "
-                f"(events {ref['events']} -> {got['events']}, cycles "
-                f"{ref['sim_cycles']} -> {got['sim_cycles']}); refresh the "
-                "baseline if intended"
+                f"{backend:6s} {name:8s} {got['events_per_sec']:>10.0f} "
+                f"events/sec (baseline {ref['events_per_sec']:>10.0f})  {status}"
             )
+            if got["events"] != ref["events"] or got["sim_cycles"] != ref["sim_cycles"]:
+                print(
+                    f"{backend:6s} {name:8s} note: simulated work changed "
+                    f"(events {ref['events']} -> {got['events']}, cycles "
+                    f"{ref['sim_cycles']} -> {got['sim_cycles']}); refresh the "
+                    "baseline if intended"
+                )
+    gate = baseline.get("fast_gate")
+    if gate and "fast" in measured:
+        ratio = gate["min_ratio"]
+        for name, reference in gate["reference"].items():
+            floor = reference * ratio
+            got = measured["fast"][name]["events_per_sec"]
+            status = "ok" if got >= floor else "GATE FAIL"
+            print(
+                f"gate   {name:8s} {got:>10.0f} events/sec "
+                f"(needs {floor:>10.0f} = {ratio:g}x frozen {reference:.0f})  "
+                f"{status}"
+            )
+            if got < floor:
+                failures.append(
+                    f"fast_gate/{name}: {got:.0f} events/sec is under the "
+                    f"{ratio:g}x ratchet ({floor:.0f}, frozen python "
+                    f"reference {reference:.0f})"
+                )
     for failure in failures:
         print(f"FAIL {failure}", file=sys.stderr)
     return 1 if failures else 0
@@ -175,6 +268,15 @@ def test_simrate_smoke() -> None:
     assert result["sim_cycles_per_sec"] > 0
 
 
+def test_fast_backend_simrate_matches_python() -> None:
+    """The fast backend does the same simulated work (bit-identical event
+    trajectory), so its deterministic counters must equal the python run's."""
+    reference = measure(instructions=30_000, backend="python")
+    fast = measure(instructions=30_000, backend="fast")
+    assert fast["events"] == reference["events"]
+    assert fast["sim_cycles"] == reference["sim_cycles"]
+
+
 def test_probe_overhead_within_gate() -> None:
     """The disabled observability layer must cost (almost) nothing.
 
@@ -185,7 +287,7 @@ def test_probe_overhead_within_gate() -> None:
     clock, same discipline as ``--check``.
     """
     baseline = json.loads(BASELINE_PATH.read_text())
-    ref = baseline["schedulers"]["PAR-BS"]
+    ref = baseline["backends"]["python"]["schedulers"]["PAR-BS"]
     instructions = baseline["instructions_per_thread"]
     best: dict | None = None
     for _ in range(3):
@@ -214,18 +316,35 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--baseline", type=Path, default=BASELINE_PATH)
     parser.add_argument("--tolerance", type=float, default=0.20)
+    parser.add_argument(
+        "--backend",
+        choices=("python", "fast"),
+        default=None,
+        help="simulation backend to measure (default: python; with --check, "
+        "restricts the gate to one backend instead of checking both)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the measurement under cProfile and write a cumtime-sorted "
+        "report next to the baseline JSON (single-measure mode only)",
+    )
     mode = parser.add_mutually_exclusive_group()
     mode.add_argument(
         "--update-baseline",
         action="store_true",
-        help="measure all schedulers and rewrite the committed baseline",
+        help="measure all schedulers on both backends and rewrite the "
+        "committed baseline (fast_gate stays frozen)",
     )
     mode.add_argument(
         "--check",
         action="store_true",
-        help="fail if events/sec regresses past --tolerance vs the baseline",
+        help="fail if events/sec regresses past --tolerance vs the baseline "
+        "or the fast backend falls under fast_gate",
     )
     args = parser.parse_args(argv)
+    if args.profile and (args.update_baseline or args.check):
+        parser.error("--profile applies to single-measure mode only")
     if args.update_baseline:
         payload = update_baseline(
             args.baseline, args.instructions, args.seed, args.repeats
@@ -234,10 +353,22 @@ def main(argv: list[str] | None = None) -> int:
         print()
         return 0
     if args.check:
-        return check_baseline(args.baseline, args.tolerance, args.repeats)
-    result = measure(args.scheduler, args.instructions, args.seed)
+        backends = [args.backend] if args.backend is not None else None
+        return check_baseline(args.baseline, args.tolerance, args.repeats, backends)
+    backend = args.backend or "python"
+    profile_path = None
+    if args.profile:
+        safe = args.scheduler.replace("/", "_")
+        profile_path = args.baseline.with_name(
+            f"BENCH_simrate.{safe}.{backend}.profile.txt"
+        )
+    result = measure(
+        args.scheduler, args.instructions, args.seed, backend, profile_path
+    )
     json.dump(result, sys.stdout, indent=2)
     print()
+    if profile_path is not None:
+        print(f"profile written to {profile_path}", file=sys.stderr)
     return 0
 
 

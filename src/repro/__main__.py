@@ -96,6 +96,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "(exports REPRO_GUARD)",
     )
     parser.add_argument(
+        "--backend",
+        choices=("python", "fast", "verify"),
+        default=None,
+        help="simulation backend: 'fast' swaps in the flat-array timing "
+        "kernel (bit-identical results, several times faster), 'verify' "
+        "runs python and fast side by side and asserts bit-for-bit "
+        "agreement (exports REPRO_BACKEND)",
+    )
+    parser.add_argument(
         "-v",
         "--verbose",
         action="count",
@@ -246,6 +255,10 @@ def main(argv: list[str] | None = None) -> int:
         # Every System resolves its guard from REPRO_GUARD (pool workers
         # included), so the flag reaches all subcommands uniformly.
         os.environ["REPRO_GUARD"] = args.guard
+    if args.backend is not None:
+        # Every runner resolves its backend from REPRO_BACKEND (pool
+        # workers included), so the flag reaches all subcommands uniformly.
+        os.environ["REPRO_BACKEND"] = args.backend
     # Observability flags export the REPRO_TRACE* environment variables so
     # every runner constructed inside experiment helpers — and every pool
     # worker — resolves the same TraceConfig (the --jobs/REPRO_JOBS pattern).

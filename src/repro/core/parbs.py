@@ -124,6 +124,24 @@ class ParBsScheduler(Scheduler):
             self.ranking = None
             self.name = f"BS/{self.batcher.name}/{within_batch}"
         self._ranks: dict[int, int] = {}
+        # Flat per-thread mirrors of the rank and priority tables: both sit
+        # on the index-key hot path (every enqueue, plus every buffered
+        # request on an index rebuild), where a list index beats a dict
+        # ``get`` with a default.  Thread ids are dense by construction.
+        self._rank_by_tid: list[int] = [UNRANKED] * num_threads
+        self._prio_by_tid: list[int] = [
+            self.priorities.get(tid, 1) for tid in range(num_threads)
+        ]
+        # Completion handling is pure delegation (see ``on_complete`` below,
+        # kept for introspection/subclassing); the instance binding skips the
+        # wrapper frame on every request completion.  Same for enqueue when
+        # no thread priorities are configured: every request already arrives
+        # with ``priority_level == 1`` (the constructor default), so the
+        # wrapper's store is redundant and ``on_enqueue`` reduces to the
+        # batcher notification.
+        self.on_complete = self.batcher.request_completed
+        if not self.priorities:
+            self.on_enqueue = self.batcher.request_arrived
 
     # -- wiring ----------------------------------------------------------------
     def attach(self, controller) -> None:  # type: ignore[override]
@@ -154,6 +172,10 @@ class ParBsScheduler(Scheduler):
             # little or no backlog rank highest (shortest job first).
             backlog = list(self.controller.buffered_reads())
             self._ranks = self.ranking.rank(backlog, threads=range(self.num_threads))
+            ranks = self._ranks
+            rank_by_tid = self._rank_by_tid
+            for tid in range(self.num_threads):
+                rank_by_tid[tid] = ranks.get(tid, UNRANKED)
             guard = self._guard
             if guard is not None:
                 guard.on_ranks(self._ranks, marked, now)
@@ -179,7 +201,7 @@ class ParBsScheduler(Scheduler):
 
     # -- lifecycle hooks ---------------------------------------------------------
     def on_enqueue(self, request: MemoryRequest, now: int) -> None:
-        request.priority_level = self.priorities.get(request.thread_id, 1)
+        request.priority_level = self._prio_by_tid[request.thread_id]
         self.batcher.request_arrived(request, now)
 
     def on_complete(self, request: MemoryRequest, now: int) -> None:
@@ -193,7 +215,7 @@ class ParBsScheduler(Scheduler):
         return (
             not request.marked,
             request.priority_level,
-            self._ranks.get(request.thread_id, UNRANKED),
+            self._rank_by_tid[request.thread_id],
             request.arrival_time,
             request.request_id,
         )

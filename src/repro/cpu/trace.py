@@ -18,7 +18,7 @@ from typing import Iterable, Iterator
 __all__ = ["TraceEntry", "Trace"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceEntry:
     """``gap`` non-memory instructions, then one memory access.
 

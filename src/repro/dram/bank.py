@@ -9,8 +9,6 @@ for why this abstraction level is sufficient for the paper's evaluation.)
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from .bus import DataBus
 from .request import MemoryRequest, RequestType
 from .timing import DramTiming
@@ -18,7 +16,6 @@ from .timing import DramTiming
 __all__ = ["Bank", "AccessOutcome"]
 
 
-@dataclass(frozen=True)
 class AccessOutcome:
     """Timeline of one serviced request.
 
@@ -27,16 +24,63 @@ class AccessOutcome:
     the observability layer can emit PRE/ACT/RD/WR trace events without
     re-deriving timing constraints; they are ``None`` when the command was
     not needed for this access (e.g. no precharge on a row hit).
+
+    A plain slotted class rather than a (frozen) dataclass: one outcome is
+    allocated per issued request on the simulator's hottest path, and
+    frozen-dataclass construction pays an ``object.__setattr__`` per field.
     """
 
-    start: int  # first command issue time
-    data_start: int  # first beat on the data bus
-    completion: int  # last beat on the data bus (request done)
-    bank_free: int  # bank may start its next access
-    row_result: str  # "hit" | "closed" | "conflict"
-    precharge_at: int | None = None  # PRE command time (conflicts only)
-    activate_at: int | None = None  # ACT command time (misses only)
-    cas_at: int = 0  # RD/WR (CAS) command time
+    __slots__ = (
+        "start",
+        "data_start",
+        "completion",
+        "bank_free",
+        "row_result",
+        "precharge_at",
+        "activate_at",
+        "cas_at",
+    )
+
+    def __init__(
+        self,
+        start: int,  # first command issue time
+        data_start: int,  # first beat on the data bus
+        completion: int,  # last beat on the data bus (request done)
+        bank_free: int,  # bank may start its next access
+        row_result: str,  # "hit" | "closed" | "conflict"
+        precharge_at: int | None = None,  # PRE command time (conflicts only)
+        activate_at: int | None = None,  # ACT command time (misses only)
+        cas_at: int = 0,  # RD/WR (CAS) command time
+    ) -> None:
+        self.start = start
+        self.data_start = data_start
+        self.completion = completion
+        self.bank_free = bank_free
+        self.row_result = row_result
+        self.precharge_at = precharge_at
+        self.activate_at = activate_at
+        self.cas_at = cas_at
+
+    def as_tuple(self) -> tuple:
+        """The full timeline as a comparable tuple (verify harness)."""
+        return (
+            self.start,
+            self.data_start,
+            self.completion,
+            self.bank_free,
+            self.row_result,
+            self.precharge_at,
+            self.activate_at,
+            self.cas_at,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AccessOutcome(start={self.start}, data_start={self.data_start}, "
+            f"completion={self.completion}, bank_free={self.bank_free}, "
+            f"row_result={self.row_result!r}, precharge_at={self.precharge_at}, "
+            f"activate_at={self.activate_at}, cas_at={self.cas_at})"
+        )
 
 
 class Bank:
@@ -129,15 +173,34 @@ class Bank:
 
         self.accesses += 1
 
+        # Positional construction: keyword binding on this allocation is
+        # measurable at one outcome per issued request.
         return AccessOutcome(
-            start=start,
-            data_start=data_start,
-            completion=completion,
-            bank_free=completion,
-            row_result=row_result,
-            precharge_at=precharge_at,
-            activate_at=activate_at,
-            cas_at=cas_done - t.tCL,
+            start,
+            data_start,
+            completion,
+            completion,
+            row_result,
+            precharge_at,
+            activate_at,
+            cas_done - t.tCL,
+        )
+
+    def state_tuple(self) -> tuple:
+        """Complete bank state as a comparable tuple.
+
+        Used by the fast-backend verify harness to assert that two
+        simulations left every bank in bit-identical condition, and by
+        :mod:`repro.dram.fastbank` tests to check the mirrored arrays.
+        """
+        return (
+            self.open_row,
+            self.busy_until,
+            self._activate_time,
+            self._write_recovery_until,
+            self.accesses,
+            self.row_hits,
+            self.row_conflicts,
         )
 
     @property

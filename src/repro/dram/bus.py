@@ -40,6 +40,10 @@ class DataBus:
         self.transfers += 1
         return start
 
+    def state_tuple(self) -> tuple:
+        """Complete bus state as a comparable tuple (verify harness)."""
+        return (self.free_at, self.busy_cycles, self.transfers, self.wait_cycles)
+
     def utilization(self, elapsed: int) -> float:
         """Fraction of ``elapsed`` cycles the bus spent transferring data."""
         return self.busy_cycles / elapsed if elapsed > 0 else 0.0

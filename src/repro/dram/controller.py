@@ -50,7 +50,7 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["MemoryController", "ThreadMemStats"]
 
 
-@dataclass
+@dataclass(slots=True)
 class ThreadMemStats:
     """Per-thread statistics collected by the controller."""
 
@@ -74,13 +74,25 @@ class ThreadMemStats:
             self.busy_time += span
         self._last_change = now
 
+    # ``_advance`` is inlined in both transitions: they run twice per read
+    # on the controller's issue/completion paths.
     def service_started(self, now: int) -> None:
-        self._advance(now)
-        self.in_service += 1
+        in_service = self.in_service
+        if in_service > 0:
+            span = now - self._last_change
+            self.blp_integral += span * in_service
+            self.busy_time += span
+        self._last_change = now
+        self.in_service = in_service + 1
 
     def service_finished(self, now: int) -> None:
-        self._advance(now)
-        self.in_service -= 1
+        in_service = self.in_service
+        if in_service > 0:
+            span = now - self._last_change
+            self.blp_integral += span * in_service
+            self.busy_time += span
+        self._last_change = now
+        self.in_service = in_service - 1
 
     @property
     def bank_level_parallelism(self) -> float:
@@ -167,6 +179,13 @@ class MemoryController:
             for c in range(config.num_channels)
             for b in range(config.num_banks)
         }
+
+        # Verify-mode hook: when a list is assigned here, every issued
+        # command appends one comparable tuple (run-relative id, placement,
+        # full AccessOutcome timeline).  The fast-backend verify harness
+        # enables it on both controllers and asserts the streams are
+        # bit-identical.  ``None`` (the default) costs one load per issue.
+        self.command_log: list | None = None
 
         # Stats appear here only for threads that actually issued requests;
         # use :meth:`stats_for` for lookups that must tolerate absent threads.
@@ -447,6 +466,20 @@ class MemoryController:
         cmd_probe = self._p_cmd
         if cmd_probe is not None:
             self._emit_cmds(request, outcome)
+        log = self.command_log
+        if log is not None:
+            log.append(
+                (
+                    now,
+                    self._rid(request),
+                    request.thread_id,
+                    request.channel,
+                    request.bank,
+                    request.row,
+                    request.is_read,
+                )
+                + outcome.as_tuple()
+            )
 
         stats = self._stats(request.thread_id)
         if request.is_read:

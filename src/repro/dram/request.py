@@ -51,6 +51,10 @@ class MemoryRequest:
 
     # Completion callback (set by the core/cache that generated the request).
     on_complete: Callable[["MemoryRequest"], None] | None = None
+    # Fast-backend calling convention: when set, the response event calls
+    # ``on_complete(on_complete_arg)`` instead of ``on_complete(request)``,
+    # letting cores pass a pre-bound (method, payload) pair with no closure.
+    on_complete_arg: object | None = field(default=None, compare=False)
 
     # Position inside the controller's per-bank buffer (maintained by the
     # controller so issued requests can be removed by swap-pop in O(1)).

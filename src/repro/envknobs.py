@@ -17,6 +17,7 @@ Knobs parsed here:
 ``REPRO_SAMPLE_INTERVAL``  telemetry sample period in cycles
 ``REPRO_CACHE_MAX_MB``     on-disk cache size bound (mtime-LRU pruning)
 ``REPRO_GUARD``            invariant checking mode (off/check/strict)
+``REPRO_BACKEND``          simulation backend (python/fast/verify)
 ``REPRO_CHAOS``            fault-injection plan spec for campaign runs
 ``REPRO_JOB_TIMEOUT_S``    per-job wall-clock timeout in pool/campaign workers
 =========================  ==================================================

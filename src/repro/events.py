@@ -88,6 +88,10 @@ class EventQueue:
     [10]
     """
 
+    # Slotted: ``now`` and ``_seq`` are read/written multiple times per
+    # event by the run loop and the fast backend's inlined push sites.
+    __slots__ = ("now", "_heap", "_seq")
+
     def __init__(self) -> None:
         self.now: int = 0
         self._heap: list[tuple[int, int, int, Callable[[], None]]] = []

@@ -68,6 +68,12 @@ class Scheduler(ABC):
     index_prefix_len: int = 0
     index_uses_row: bool = True
 
+    # Set True by policies whose hooks read ``request.service_outcome``
+    # (e.g. STFM's row-hit-aware alone-time model).  The fast backend
+    # otherwise skips materializing the ``AccessOutcome`` object when no
+    # guard, tracer or command log will read it either.
+    uses_service_outcome: bool = False
+
     def __init__(self) -> None:
         self.controller: "MemoryController | None" = None
         # Bumped whenever buffered requests' priority keys go stale; the

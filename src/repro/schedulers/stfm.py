@@ -28,7 +28,6 @@ slowed-down and are prioritized earlier.
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import Sequence
 
 from ..dram.request import MemoryRequest
@@ -41,6 +40,9 @@ class StfmScheduler(Scheduler):
     """Stall-time fair arbitration."""
 
     name = "STFM"
+    # ``on_issue`` reads ``request.service_outcome`` for the alone-time
+    # model; the fast backend must materialize the outcome object.
+    uses_service_outcome = True
 
     def __init__(
         self,
@@ -57,22 +59,32 @@ class StfmScheduler(Scheduler):
         self.interval_length = interval_length
         self.weights = dict(weights or {})
 
-        self._t_shared: dict[int, float] = defaultdict(float)
-        self._t_interference: dict[int, float] = defaultdict(float)
+        # Per-thread counters as flat lists (thread ids are dense).
+        self._t_shared: list[float] = [0.0] * num_threads
+        self._t_interference: list[float] = [0.0] * num_threads
         # Outstanding read tracking for T_shared integration.
-        self._outstanding: dict[int, int] = defaultdict(int)
-        self._last_change: dict[int, int] = defaultdict(int)
+        self._outstanding: list[int] = [0] * num_threads
+        self._last_change: list[int] = [0] * num_threads
         # Banks with waiting-or-in-service reads per thread (for the bank
-        # parallelism divisor in interference accounting).
-        self._banks_busy: dict[int, dict[BankKey, int]] = defaultdict(
-            lambda: defaultdict(int)
-        )
+        # parallelism divisor in interference accounting), plus an O(1)
+        # count of banks with a positive request count so the divisor
+        # needs no per-victim scan over the bank map.
+        self._banks_busy: list[dict[BankKey, int]] = [{} for _ in range(num_threads)]
+        self._busy_bank_count: list[int] = [0] * num_threads
         self._last_decay = 0
-        # Slowdown table memoized per cycle: ``select`` runs once per bank
-        # wake and recomputing every thread's slowdown each time is the
-        # policy's main arbitration cost.  Any state change invalidates it.
-        self._slowdown_cache: dict[int, float] | None = None
+        # Incrementally maintained slowdown table: ``select`` runs once per
+        # bank wake and recomputing every thread's slowdown each time is
+        # the policy's main arbitration cost.  A thread's entry is
+        # recomputed only when its counters changed since the last
+        # arbitration (dirty) or when its estimate is time-dependent (it
+        # has outstanding reads, so T_shared grows with ``now``).  Threads
+        # that are idle and untouched keep their cached value — computing
+        # it again would evaluate the same expression on the same inputs.
+        self._slowdown_cache: dict[int, float] = {}
         self._slowdown_cache_time = -1
+        self._sd_dirty: list[bool] = [False] * num_threads
+        self._sd_time: list[int] = [-1] * num_threads
+        self._sd_any_dirty = False
         # Epoch-scoped arbitration mode for the incremental index:
         # (fairness mode active, thread being boosted).  Buffered index
         # keys are built against this snapshot; ``refresh_index`` bumps the
@@ -89,12 +101,21 @@ class StfmScheduler(Scheduler):
         if now - self._last_decay < self.interval_length:
             return
         for table in (self._t_shared, self._t_interference):
-            for key in table:
-                table[key] *= 0.5
+            for tid in range(self.num_threads):
+                table[tid] *= 0.5
         self._last_decay = now
+        # Every estimate changed; recompute all on the next arbitration.
+        for tid in range(self.num_threads):
+            self._sd_dirty[tid] = True
+        self._sd_any_dirty = True
+
+    def _mark_dirty(self, thread_id: int) -> None:
+        self._sd_dirty[thread_id] = True
+        self._sd_any_dirty = True
 
     def _bank_parallelism(self, thread_id: int) -> int:
-        return max(1, sum(1 for c in self._banks_busy[thread_id].values() if c > 0))
+        count = self._busy_bank_count[thread_id]
+        return count if count > 1 else 1
 
     def on_enqueue(self, request: MemoryRequest, now: int) -> None:
         if not request.is_read:
@@ -102,9 +123,14 @@ class StfmScheduler(Scheduler):
         tid = request.thread_id
         self._advance(tid, now)
         self._outstanding[tid] += 1
-        self._banks_busy[tid][(request.channel, request.bank)] += 1
+        bank_counts = self._banks_busy[tid]
+        key: BankKey = (request.channel, request.bank)
+        before = bank_counts.get(key, 0)
+        bank_counts[key] = before + 1
+        if before == 0:
+            self._busy_bank_count[tid] += 1
         self._decay(now)
-        self._slowdown_cache = None
+        self._mark_dirty(tid)
 
     def on_issue(self, request: MemoryRequest, now: int) -> None:
         if not request.is_read:
@@ -114,15 +140,12 @@ class StfmScheduler(Scheduler):
         key: BankKey = (request.channel, request.bank)
         # Charge interference to every *other* thread waiting on this bank
         # (the controller maintains per-bank thread counts, so no scan).
-        victims = [
-            tid
-            for tid in self.controller.buffered_read_threads(key)
-            if tid != request.thread_id
-        ]
-        for tid in victims:
+        issuer = request.thread_id
+        for tid in self.controller.buffered_read_threads(key):
+            if tid == issuer:
+                continue
             self._t_interference[tid] += duration / self._bank_parallelism(tid)
-        if victims:
-            self._slowdown_cache = None
+            self._mark_dirty(tid)
 
     def on_complete(self, request: MemoryRequest, now: int) -> None:
         if not request.is_read:
@@ -132,9 +155,12 @@ class StfmScheduler(Scheduler):
         self._outstanding[tid] -= 1
         bank_counts = self._banks_busy[tid]
         key: BankKey = (request.channel, request.bank)
-        bank_counts[key] -= 1
+        after = bank_counts[key] - 1
+        bank_counts[key] = after
+        if after == 0:
+            self._busy_bank_count[tid] -= 1
         self._decay(now)
-        self._slowdown_cache = None
+        self._mark_dirty(tid)
 
     # -- slowdown estimation -----------------------------------------------------
     def slowdown(self, thread_id: int, now: int | None = None) -> float:
@@ -152,17 +178,37 @@ class StfmScheduler(Scheduler):
 
     # -- arbitration -----------------------------------------------------------
     def _slowdowns(self, now: int) -> dict[int, float]:
-        """All active threads' slowdowns, memoized for the current cycle."""
-        if self._slowdown_cache is not None and self._slowdown_cache_time == now:
-            return self._slowdown_cache
-        slowdowns = {
-            tid: self.slowdown(tid, now)
-            for tid in range(self.num_threads)
-            if self._t_shared[tid] > 0 or self._outstanding[tid] > 0
-        }
-        self._slowdown_cache = slowdowns
+        """All active threads' slowdowns, incrementally maintained.
+
+        The returned mapping holds exactly the threads with
+        ``T_shared > 0`` or outstanding reads.  An entry is refreshed only
+        when its thread was marked dirty by a counter change, or when the
+        thread has outstanding reads (its ``T_shared`` integrates ``now``,
+        so the estimate is time-dependent).  Clean idle threads keep the
+        cached value — it is the result of the identical expression on
+        identical inputs, so skipping the recompute is bit-exact.
+        """
+        cache = self._slowdown_cache
+        if self._slowdown_cache_time == now and not self._sd_any_dirty:
+            return cache
+        t_shared = self._t_shared
+        outstanding = self._outstanding
+        dirty = self._sd_dirty
+        sd_time = self._sd_time
+        for tid in range(self.num_threads):
+            if t_shared[tid] > 0 or outstanding[tid] > 0:
+                if dirty[tid] or (outstanding[tid] > 0 and sd_time[tid] != now):
+                    cache[tid] = self.slowdown(tid, now)
+                    dirty[tid] = False
+                    sd_time[tid] = now
+            elif dirty[tid]:
+                # Left the active set (e.g. enqueue and completion in the
+                # same cycle never accrued shared stall time).
+                cache.pop(tid, None)
+                dirty[tid] = False
         self._slowdown_cache_time = now
-        return slowdowns
+        self._sd_any_dirty = False
+        return cache
 
     def refresh_index(self, now: int) -> None:
         # Slowdown estimates drift with every enqueue/completion, but they

@@ -3,6 +3,7 @@
 from .factory import SCHEDULER_NAMES, make_scheduler
 from .runner import AloneStats, ExperimentRunner, default_instructions
 from .system import DramPort, System
+from .verify import BACKENDS, BackendMismatch, backend_from_env
 
 __all__ = [
     "SCHEDULER_NAMES",
@@ -12,4 +13,7 @@ __all__ = [
     "default_instructions",
     "DramPort",
     "System",
+    "BACKENDS",
+    "BackendMismatch",
+    "backend_from_env",
 ]

@@ -97,11 +97,22 @@ class SimJob:
     # Observability settings travel with the job so pool workers write the
     # same per-job trace files a serial run would (None = tracing off).
     trace: TraceConfig | None = None
+    # Simulation backend ("python", "fast" or "verify"): pinned by the
+    # submitting runner so serial and pooled execution agree even when a
+    # worker's environment differs; None resolves REPRO_BACKEND.
+    backend: str | None = None
 
     def runner_key(self) -> str:
         """Content hash of everything that parameterizes the runner."""
         return content_key(
-            [self.config, self.instructions, self.seed, self.cache_dir, self.trace]
+            [
+                self.config,
+                self.instructions,
+                self.seed,
+                self.cache_dir,
+                self.trace,
+                self.backend,
+            ]
         )
 
 
@@ -126,6 +137,7 @@ def _runner_for(job: SimJob) -> "ExperimentRunner":
             # An unset trace field means "off", not "resolve from env":
             # the submitting runner already resolved the environment.
             trace=job.trace if job.trace is not None else TraceConfig(),
+            backend=job.backend,
         )
         _WORKER_RUNNERS[key] = runner
     return runner

@@ -40,6 +40,7 @@ from ..workloads.profiles import profile
 from .diskcache import SIM_FINGERPRINT, DiskCache, cache_enabled, content_key
 from .factory import make_scheduler
 from .system import System
+from .verify import BACKENDS, backend_from_env, compare_results, compare_systems
 
 __all__ = ["AloneStats", "ExperimentRunner", "default_instructions"]
 
@@ -81,10 +82,22 @@ class ExperimentRunner:
         jobs: int | None = None,
         cache_dir: Any = _DEFAULT_CACHE,
         trace: TraceConfig | None = None,
+        backend: str | None = None,
     ) -> None:
         self.config = config or baseline_system(4)
         self.instructions = instructions or default_instructions()
         self.seed = seed
+        # Simulation backend: "python" (reference), "fast" (flat-array
+        # kernel) or "verify" (both, asserting bit-identity on every
+        # shared run).  None resolves REPRO_BACKEND / --backend.
+        if backend is None:
+            backend = backend_from_env()
+        elif backend not in BACKENDS:
+            raise ValueError(
+                f"unknown simulation backend {backend!r} "
+                f"(choose from {', '.join(BACKENDS)})"
+            )
+        self.backend = backend
         # None → resolve from REPRO_JOBS at run time (default 1 = serial).
         self.jobs = jobs
         # Observability: None → resolve from REPRO_TRACE* env vars; pass an
@@ -209,7 +222,10 @@ class ExperimentRunner:
                 return stats
         trace = self.trace_for(benchmark, 0)
         # One core, but the *same* memory system as the shared runs
-        # ("running alone on the same system", Section 7.1).
+        # ("running alone on the same system", Section 7.1).  The alone
+        # run uses the execution backend directly (bit-identity makes the
+        # disk-cached baselines backend-agnostic); verify mode checks the
+        # contract on shared runs, where contention exercises arbitration.
         config = replace(self.config, num_cores=1)
         system = System(
             config,
@@ -217,6 +233,7 @@ class ExperimentRunner:
             [trace],
             repeat=False,
             guard=guard_from_env(),
+            backend="fast" if self.backend == "fast" else "python",
         )
         system.run()
         core = system.cores[0]
@@ -289,12 +306,21 @@ class ExperimentRunner:
                 f"{self.config.num_cores} cores"
             )
         if isinstance(scheduler, str):
+            factory_name: str | None = scheduler
             scheduler_name = scheduler
             scheduler = make_scheduler(
                 scheduler, self.config.num_cores, **scheduler_kwargs
             )
         else:
+            factory_name = None
             scheduler_name = scheduler.name
+        verify = self.backend == "verify"
+        if verify and factory_name is None:
+            raise ValueError(
+                "verify backend needs a scheduler factory name (the shadow "
+                "run must build fresh, unshared scheduler state); pass the "
+                "scheduler as a string"
+            )
 
         cfg = self.trace
         tracer: Tracer | None = None
@@ -322,7 +348,12 @@ class ExperimentRunner:
             # ``--guard`` / REPRO_GUARD: a fresh invariant checker per run
             # (the guard is stateful); None keeps every hook site free.
             guard=guard_from_env(),
+            backend="python" if verify else self.backend,
         )
+        if verify:
+            # Verify mode compares the full command stream, so the
+            # reference run records it (the shadow run records its own).
+            system.controller.command_log = []
         try:
             sim_cycles = system.run()
         finally:
@@ -344,6 +375,24 @@ class ExperimentRunner:
                 read_jsonl(trace_path),
             )
 
+        result = self._collect_result(
+            system, workload, scheduler_name, sim_cycles, telemetry
+        )
+        if verify:
+            self._verify_shadow_run(
+                system, result, workload, factory_name, scheduler_kwargs, traces
+            )
+        return result
+
+    def _collect_result(
+        self,
+        system: System,
+        workload: list[str],
+        scheduler_name: str,
+        sim_cycles: int,
+        telemetry: Telemetry | None,
+    ) -> WorkloadResult:
+        """Package one finished system into a :class:`WorkloadResult`."""
         threads = []
         for thread_id, benchmark in enumerate(workload):
             core = system.cores[thread_id]
@@ -376,6 +425,40 @@ class ExperimentRunner:
             sim_cycles=sim_cycles,
             telemetry=telemetry.summary() if telemetry is not None else None,
         )
+
+    def _verify_shadow_run(
+        self,
+        reference: System,
+        reference_result: WorkloadResult,
+        workload: list[str],
+        factory_name: str,
+        scheduler_kwargs: dict,
+        traces: list[Trace],
+    ) -> None:
+        """Verify mode: re-run on the fast backend and assert bit-identity.
+
+        The shadow run shares the reference run's :class:`Trace` objects
+        (traces are immutable) but builds fresh scheduler and guard state.
+        It never records telemetry or event traces — observability output
+        belongs to the reference run — and raises
+        :class:`~repro.sim.verify.BackendMismatch` on any divergence in
+        command stream, timing, statistics or final metrics.
+        """
+        shadow = System(
+            self.config,
+            make_scheduler(factory_name, self.config.num_cores, **scheduler_kwargs),
+            traces,
+            repeat=True,
+            guard=guard_from_env(),
+            backend="fast",
+        )
+        shadow.controller.command_log = []
+        sim_cycles = shadow.run()
+        compare_systems(reference, shadow)
+        shadow_result = self._collect_result(
+            shadow, workload, reference_result.scheduler, sim_cycles, None
+        )
+        compare_results(reference_result, shadow_result)
 
     # -- parallel fan-out ---------------------------------------------------------
     def effective_jobs(self, jobs: int | None = None) -> int:
@@ -432,6 +515,7 @@ class ExperimentRunner:
                 seed=self.seed,
                 cache_dir=self.cache_dir,
                 trace=self.trace,
+                backend=self.backend,
             )
             for workload, name, kwargs in specs
         ]

@@ -10,6 +10,7 @@ the paper's equal-instruction-slice methodology).
 
 from __future__ import annotations
 
+import gc
 import heapq
 from typing import Callable
 
@@ -97,6 +98,14 @@ class System:
         the controller, batcher and scheduler discover it at attach time
         (probe-or-None, like ``tracer``).  ``None`` (default) compiles
         every check to a no-op.
+    backend:
+        Simulation backend: ``"python"`` (default) uses the reference
+        object-model controller; ``"fast"`` swaps in the flat-array timing
+        kernel (:mod:`repro.dram.fastctl`), which produces a bit-identical
+        event trajectory — same command streams, cycles and statistics —
+        at a fraction of the per-event cost.  The ``verify`` mode that runs
+        both and compares them lives one level up, in
+        :mod:`repro.sim.verify` / the experiment runner.
     """
 
     def __init__(
@@ -110,17 +119,27 @@ class System:
         tracer=None,
         telemetry=None,
         guard=None,
+        backend: str = "python",
     ) -> None:
         if len(traces) != config.num_cores:
             raise ValueError(
                 f"expected {config.num_cores} traces, got {len(traces)}"
             )
+        if backend not in ("python", "fast"):
+            raise ValueError(f"unknown simulation backend {backend!r}")
         self.config = config
+        self.backend = backend
         self.queue = EventQueue()
         self.tracer = tracer
         self.telemetry = telemetry
         self.guard = guard
-        self.controller = MemoryController(
+        if backend == "fast":
+            from ..dram.fastctl import FastDramPort, FastMemoryController
+
+            controller_cls, port_cls = FastMemoryController, FastDramPort
+        else:
+            controller_cls, port_cls = MemoryController, DramPort
+        self.controller = controller_cls(
             self.queue,
             config.dram,
             scheduler,
@@ -131,7 +150,10 @@ class System:
             guard=guard,
         )
         self.mapping = config.dram.mapping()
-        self.port = DramPort(self.controller, self.mapping)
+        self.port = port_cls(self.controller, self.mapping)
+        # Fast backend: flush array state back into the object model before
+        # anything outside the controller reads it (diagnostics, finalize).
+        self._sync_state = getattr(self.controller, "sync_state", None)
 
         self._finished = 0
         # Events processed by the last ``run()`` — the numerator of the
@@ -162,6 +184,12 @@ class System:
             )
             core.on_finished = self._core_finished
             self.cores.append(core)
+        if backend == "fast":
+            # Traces are fixed before the run: decode every address once,
+            # vectorized, so the run itself never misses the decode memo.
+            self.controller.predecode(
+                {entry.address for trace in traces for entry in trace.entries}
+            )
         if telemetry is not None:
             telemetry.attach(self)
 
@@ -189,6 +217,12 @@ class System:
         monotonicity check redundant here.  The watchdog costs one int
         compare per event; the full progress check runs only every
         ``_WATCHDOG_CHECK_EVENTS`` events.
+
+        The heap holds two entry shapes: the 4-tuple ``(when, prio, seq,
+        fn)`` pushed by :meth:`EventQueue.schedule`, and the fast backend's
+        pre-bound 5-tuple ``(when, prio, seq, fn, arg)`` dispatched as
+        ``fn(arg)``.  Mixing them in one heap is safe because sequence
+        numbers are unique — tuple comparison never reaches element 3.
         """
         for core in self.cores:
             core.start()
@@ -199,40 +233,68 @@ class System:
         budget = max_events if max_events is not None else float("inf")
         events = 0
         next_check = _WATCHDOG_CHECK_EVENTS if watchdog_cycles is not None else budget + 1
+        # One fused threshold covers both the event budget and the
+        # watchdog checkpoint, so the per-event epilogue is a single
+        # compare; the slow path below disentangles which one fired.
+        limit = next_check if next_check <= budget else budget + 1
         last_retired = -1
         progress_time = 0
-        while self._finished < num_cores:
-            if not heap:
-                raise SimulationError(
-                    "event queue drained before all cores finished"
-                )
-            when, _priority, _seq, callback = pop(heap)
-            queue.now = when
-            callback()
-            events += 1
-            if events > budget:
-                raise SimulationError(
-                    f"exceeded event budget ({max_events}); simulation stuck?"
-                )
-            if events >= next_check:
-                next_check = events + _WATCHDOG_CHECK_EVENTS
-                retired = 0
-                for core in self.cores:
-                    retired += core.instructions_retired
-                if retired != last_retired:
-                    last_retired = retired
-                    progress_time = when
-                elif when - progress_time >= watchdog_cycles:
-                    from ..guard.diagnostics import stall_report
-
-                    report = stall_report(self, events)
-                    raise SimulationStalled(
-                        f"no instruction committed in {when - progress_time} "
-                        f"cycles ({events} events processed); simulation is "
-                        f"livelocked\n{report}",
-                        report=report,
+        # The simulation allocates short-lived objects (heap tuples,
+        # requests, outcomes) at a rate that triggers hundreds of gen-0
+        # collection passes per run, none of which free anything the
+        # reference counter wouldn't — the hot-path object graph is
+        # acyclic.  Pause the collector for the duration of the loop.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            while self._finished < num_cores:
+                if not heap:
+                    raise SimulationError(
+                        "event queue drained before all cores finished"
                     )
+                entry = pop(heap)
+                when = entry[0]
+                queue.now = when
+                if len(entry) == 4:
+                    entry[3]()
+                else:
+                    entry[3](entry[4])
+                events += 1
+                if events >= limit:
+                    if events > budget:
+                        raise SimulationError(
+                            f"exceeded event budget ({max_events}); "
+                            "simulation stuck?"
+                        )
+                    if events >= next_check:
+                        next_check = events + _WATCHDOG_CHECK_EVENTS
+                        retired = 0
+                        for core in self.cores:
+                            retired += core.instructions_retired
+                        if retired != last_retired:
+                            last_retired = retired
+                            progress_time = when
+                        elif when - progress_time >= watchdog_cycles:
+                            from ..guard.diagnostics import stall_report
+
+                            if self._sync_state is not None:
+                                self._sync_state()
+                            report = stall_report(self, events)
+                            raise SimulationStalled(
+                                f"no instruction committed in "
+                                f"{when - progress_time} cycles ({events} "
+                                f"events processed); simulation is "
+                                f"livelocked\n{report}",
+                                report=report,
+                            )
+                    limit = next_check if next_check <= budget else budget + 1
+        finally:
+            if gc_was_enabled:
+                gc.enable()
         self.events_processed = events
+        if self._sync_state is not None:
+            self._sync_state()
         if self.telemetry is not None:
             self.telemetry.finalize(queue.now)
         if self.guard is not None:

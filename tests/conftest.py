@@ -36,6 +36,9 @@ def _isolated_disk_cache(tmp_path_factory):
             "REPRO_GUARD",
             "REPRO_CHAOS",
             "REPRO_JOB_TIMEOUT_S",
+            # An inherited backend would silently re-run the whole suite
+            # on the fast (or verify) path instead of what each test pins.
+            "REPRO_BACKEND",
         )
     }
     yield
