@@ -115,6 +115,21 @@ class ParBsScheduler(Scheduler):
         self.index_key = (
             self._index_key_ranked if within_batch == "par" else self._index_key_plain
         )
+        # Packed twin for the fast backend's flat-array kernel: the same
+        # fields as ``index_key`` stacked above the 40 age bits — ranked:
+        # (not-marked | priority:21 | rank:31 | id:40), plain: (not-marked
+        # | priority:21 | id:40).  Rank values are thread positions or
+        # ``UNRANKED`` (2**30), so 31 bits hold them; priority levels top
+        # out at ``OPPORTUNISTIC`` (2**20).  The prefix (marked, priority)
+        # sits above the shift in both layouts.
+        if any(level < 0 or level >= 1 << 21 for level in self.priorities.values()):
+            raise ValueError("priority levels must be in [0, 2**21)")
+        if within_batch == "par":
+            self.pack_key = self._pack_key_ranked
+            self.pack_prefix_shift = 31 + 40
+        else:
+            self.pack_key = self._pack_key_plain
+            self.pack_prefix_shift = 40
         if within_batch == "par":
             self.ranking: ThreadRanking | None = (
                 ranking if isinstance(ranking, ThreadRanking) else make_ranking(ranking, seed)
@@ -226,6 +241,21 @@ class ParBsScheduler(Scheduler):
             request.priority_level,
             request.arrival_time,
             request.request_id,
+        )
+
+    def _pack_key_ranked(self, request: MemoryRequest) -> int:
+        return (
+            (not request.marked) << 92
+            | request.priority_level << 71
+            | self._rank_by_tid[request.thread_id] << 40
+            | request.request_id
+        )
+
+    def _pack_key_plain(self, request: MemoryRequest) -> int:
+        return (
+            (not request.marked) << 61
+            | request.priority_level << 40
+            | request.request_id
         )
 
     def _key(self, request: MemoryRequest) -> tuple:

@@ -18,12 +18,24 @@ cost of each event:
   num_banks + bank``) instead of repeated dict lookups;
 * bank/bus/command-slot timing state lives in the flat arrays of
   :class:`~repro.dram.fastbank.FastDramState` instead of object attribute
-  chains.
+  chains;
+* arbitration runs on the packed-key kernel
+  (:class:`~repro.dram.fastsched.FastBankSched`): per-bank row-bucketed
+  candidate arrays with integer sort keys and cached minima instead of
+  the heap-backed :class:`~repro.dram.rqindex.BankReadIndex` — same
+  membership contract, same epoch protocol, no heap churn;
+* wakes that the python path provably wastes are *elided*: an enqueue to
+  a busy bank arms the wake directly at the bank-free time instead of
+  pushing an immediate wake whose only effect is to reschedule itself
+  (and, when that target wake is already armed, leave a superseded
+  duplicate behind).  Each elision counts into ``events_elided`` so the
+  two backends agree on *logical* events (``events_processed +
+  events_elided``), and the surviving events draw their sequence numbers
+  at the same relative points — command streams stay bit-identical.
 
-The request-buffer indexes (:mod:`repro.dram.rqindex`), scheduler hooks,
-guard hooks and trace probes are the *same objects and call sites* as the
-python path — the strict guard's shadow DDR checker certifies the fast
-kernel exactly as it does the reference one.
+The scheduler hooks, guard hooks and trace probes are the *same objects
+and call sites* as the python path — the strict guard's shadow DDR
+checker certifies the fast kernel exactly as it does the reference one.
 
 :class:`FastDramPort` is the matching core-side adapter: it memoizes
 address → (channel, bank, row) decodes and exposes a ``fast_access``
@@ -33,14 +45,15 @@ protocol that carries the core's data-return callback as a pre-bound
 
 from __future__ import annotations
 
-from heapq import heappop, heappush
+from heapq import heappush
 from typing import TYPE_CHECKING, Callable
 
 from .bank import AccessOutcome
 from .controller import MemoryController
 from .fastbank import FastDramState
+from .fastsched import FastBankSched
 from .request import MemoryRequest, RequestType, _request_ids
-from .rqindex import BankReadIndex, WriteFifo
+from .rqindex import WriteFifo
 
 try:  # Setup-time vectorized decode only; the hot path never needs numpy.
     import numpy as _np
@@ -91,17 +104,18 @@ class FastMemoryController(MemoryController):
         # Pre-create every per-bank structure so the hot path replaces
         # keyed dict lookups with one flat-list index.  Pre-created empty
         # indexes are invisible to the controller API: every reader
-        # filters on ``size``.
-        self._kid_reads: list[BankReadIndex] = []
+        # filters on ``size``.  Reads live in the packed-key kernel
+        # (:class:`FastBankSched`) instead of the heap-backed
+        # ``BankReadIndex`` — same membership API, so the batcher, guard
+        # and scan/verify paths read it unchanged.
+        self._kid_reads: list[FastBankSched] = []
         self._kid_writes: list[WriteFifo] = []
         self._kid_key: list[tuple[int, int]] = []
         self._kid_bank = []
         for c in range(config.num_channels):
             for b in range(num_banks):
                 key = (c, b)
-                index = self._reads.get(key)
-                if index is None:
-                    index = self._reads[key] = BankReadIndex()
+                index = self._reads[key] = FastBankSched()
                 fifo = self._writes.get(key)
                 if fifo is None:
                     fifo = self._writes[key] = WriteFifo()
@@ -144,13 +158,50 @@ class FastMemoryController(MemoryController):
         self._overhead = config.timing.overhead
         # A policy that keeps the base ``select_indexed`` gets it inlined
         # in the wake path (same statements, minus two call frames per
-        # arbitration); one that overrides it is called normally.
+        # arbitration); one that overrides it is called normally (the
+        # packed kernel duck-types ``peek``/``peek_row``/``ensure``, so
+        # overrides like NFQ's work against it unchanged).
         self._generic_select = cls.select_indexed is _Base.select_indexed
         self._refresh_index = (
             scheduler.refresh_index
             if cls.refresh_index is not _Base.refresh_index
             else None
         )
+        # Packed-key protocol: the key function feeding FastBankSched
+        # (integer pack_key when the policy provides one, its tuple
+        # index_key otherwise) and whether prefix comparison is a shift
+        # or a slice.  ``index_uses_row`` is fixed at construction for
+        # every policy; STFM's runtime prefix flips are read live.
+        keyfn = scheduler.pack_key
+        self._packed_keys = keyfn is not None
+        self._index_keyfn = keyfn if keyfn is not None else scheduler.index_key
+        self._uses_row = scheduler.index_uses_row
+        # Wake events elided by arming enqueue-time wakes directly at the
+        # bank-free time (see module docstring); ``events_processed +
+        # events_elided`` equals the python backend's event count, so each
+        # elision is counted exactly when the python path would *process*
+        # the corresponding event:
+        #
+        # * the immediate wake counts at arming — it fires within the
+        #   same cycle, right after the arming event (priority 1 precedes
+        #   every enqueuing event's priority 2/4) — except when the run's
+        #   final event armed it (see :meth:`finalize_elision`);
+        # * the superseded duplicate the python path leaves at the
+        #   bank-free time (its immediate's rebound lands next to an
+        #   already-armed wake) is *deferred* into ``_kid_dup`` and
+        #   counted when that armed wake actually fires — if the run ends
+        #   first, the python path never processed it either.
+        #
+        # ``_kid_elide_seq[kid]`` records *which event* (by its unique
+        # queue sequence number) last elided a wake for the bank: within
+        # that same event the python path's immediate is still armed, so
+        # further enqueues are pure no-ops there (nothing to elide).
+        self.events_elided = 0
+        n_kids = config.num_channels * num_banks
+        self._kid_elide_seq: list[int] = [-2] * n_kids
+        self._kid_dup: list[int] = [0] * n_kids
+        self._phantom_seq = -2
+        self._phantom_count = 0
         # Pre-bound callbacks: referencing ``self._wake_kid`` inside a heap
         # tuple allocates a fresh bound-method object per push; binding
         # once turns that into a plain attribute load.
@@ -213,6 +264,15 @@ class FastMemoryController(MemoryController):
             guard is not None
             or tracer is not None
             or cls.uses_service_outcome
+        )
+        # Issue-side twin of the completion-path elision above: with no
+        # guard, tracer, telemetry mirror or outcome consumer attached,
+        # the issue epilogue folds its six probe-or-None checks into this
+        # one pre-bound flag (the command log stays a live check — verify
+        # mode enables it after construction).
+        self._issue_lean = (
+            guard is None and tracer is None and not self._want_outcome
+            and telemetry is None
         )
         # Address-decode state for :meth:`fast_access`, installed by the
         # port (which owns the mapping) via :meth:`install_mapping`.
@@ -304,17 +364,26 @@ class FastMemoryController(MemoryController):
             hook = self._hook_enqueue
             if hook is not None:
                 hook(request, now)
-            if self._use_index:
-                # ``BankReadIndex.push`` inlined.
-                sched = self.scheduler
-                if index.heap_epoch == sched.index_epoch:
-                    entry = (sched.index_key(request), request)
-                    heappush(index.heap, entry)
-                    row_heaps = index.row_heaps
-                    row_heap = row_heaps.get(row)
-                    if row_heap is None:
-                        row_heap = row_heaps[row] = []
-                    heappush(row_heap, entry)
+            if (
+                self._use_index
+                and index.heap_epoch == self.scheduler.index_epoch
+            ):
+                # ``FastBankSched.push`` inlined: append the packed key
+                # and bubble the cached minima (no heap churn).
+                k = self._index_keyfn(request)
+                keys = index.keys
+                kbucket = keys.get(row)
+                if kbucket is None:
+                    kbucket = keys[row] = []
+                kbucket.append(k)
+                row_best = index.row_best
+                rb = row_best.get(row)
+                if rb is None or k < rb[0]:
+                    entry = (k, request)
+                    row_best[row] = entry
+                    best = index.best
+                    if best is None or k < best[0]:
+                        index.best = entry
         else:
             self._kid_writes[kid].push(request)
             self._write_occupancy += 1
@@ -335,12 +404,66 @@ class FastMemoryController(MemoryController):
         guard = self.guard
         if guard is not None:
             guard.on_enqueue(request, now)
+        self._arm_enqueue_wake(kid, now, queue)
+
+    def _arm_enqueue_wake(self, kid: int, now: int, queue) -> None:
+        """Arm the post-enqueue bank wake, eliding wakes the python path
+        provably wastes.
+
+        The reference controller always schedules a wake at ``now``; when
+        the bank is busy, that wake's only effect is to reschedule itself
+        to the bank-free time (its pick/issue code never runs).  The bank
+        cannot start another access between this enqueue and that wake —
+        only this bank's own wake issues on it, and the wake-dedup slot
+        holds at most one — so the rebound target is known *now*: arm the
+        wake directly at ``busy_until``.  The elided wake would have fired
+        immediately (before any later event allocates sequence numbers),
+        so pushing its rebound here preserves the relative seq order of
+        every surviving same-cycle wake — command streams stay
+        bit-identical.  Each skipped push counts into ``events_elided``.
+        """
         kid_wake = self._kid_wake
         pending = kid_wake[kid]
         if pending is None or pending > now:
-            kid_wake[kid] = now
-            heappush(queue._heap, (now, 1, queue._seq, self._wake_kid_cb, kid))
-            queue._seq += 1
+            busy = self._busy_arr[kid]
+            if busy <= now:
+                kid_wake[kid] = now
+                heappush(
+                    queue._heap, (now, 1, queue._seq, self._wake_kid_cb, kid)
+                )
+                queue._seq += 1
+            elif pending == busy:
+                # A wake is already armed exactly at the bank-free time.
+                # Unless this event already elided for the bank (in which
+                # case the python path's immediate is still pending and it
+                # enqueues as a pure no-op), the python path spends an
+                # immediate wake plus the superseded duplicate its rebound
+                # leaves behind — both dead.  The duplicate is deferred:
+                # it only counts if the armed wake actually fires.
+                cur = queue.now_seq
+                if self._kid_elide_seq[kid] != cur:
+                    self._kid_elide_seq[kid] = cur
+                    self._kid_dup[kid] += 1
+                    self.events_elided += 1
+                    if self._phantom_seq == cur:
+                        self._phantom_count += 1
+                    else:
+                        self._phantom_seq = cur
+                        self._phantom_count = 1
+            else:
+                kid_wake[kid] = busy
+                heappush(
+                    queue._heap, (busy, 1, queue._seq, self._wake_kid_cb, kid)
+                )
+                queue._seq += 1
+                cur = queue.now_seq
+                self._kid_elide_seq[kid] = cur
+                self.events_elided += 1
+                if self._phantom_seq == cur:
+                    self._phantom_count += 1
+                else:
+                    self._phantom_seq = cur
+                    self._phantom_count = 1
 
     def fast_access(
         self,
@@ -443,25 +566,61 @@ class FastMemoryController(MemoryController):
         hook = self._hook_enqueue
         if hook is not None:
             hook(request, now)
-        if self._use_index:
-            sched = self.scheduler
-            if index.heap_epoch == sched.index_epoch:
-                entry = (sched.index_key(request), request)
-                heappush(index.heap, entry)
-                row_heaps = index.row_heaps
-                row_heap = row_heaps.get(row)
-                if row_heap is None:
-                    row_heap = row_heaps[row] = []
-                heappush(row_heap, entry)
+        if self._use_index and index.heap_epoch == self.scheduler.index_epoch:
+            # ``FastBankSched.push`` inlined (see ``enqueue``).
+            k = self._index_keyfn(request)
+            keys = index.keys
+            kbucket = keys.get(row)
+            if kbucket is None:
+                kbucket = keys[row] = []
+            kbucket.append(k)
+            row_best = index.row_best
+            rb = row_best.get(row)
+            if rb is None or k < rb[0]:
+                entry = (k, request)
+                row_best[row] = entry
+                best = index.best
+                if best is None or k < best[0]:
+                    index.best = entry
         guard = self.guard
         if guard is not None:
             guard.on_enqueue(request, now)
+        # ``_arm_enqueue_wake`` inlined (cores call this once per read).
         kid_wake = self._kid_wake
         pending = kid_wake[kid]
         if pending is None or pending > now:
-            kid_wake[kid] = now
-            heappush(queue._heap, (now, 1, queue._seq, self._wake_kid_cb, kid))
-            queue._seq += 1
+            busy = self._busy_arr[kid]
+            if busy <= now:
+                kid_wake[kid] = now
+                heappush(
+                    queue._heap, (now, 1, queue._seq, self._wake_kid_cb, kid)
+                )
+                queue._seq += 1
+            elif pending == busy:
+                cur = queue.now_seq
+                if self._kid_elide_seq[kid] != cur:
+                    self._kid_elide_seq[kid] = cur
+                    self._kid_dup[kid] += 1
+                    self.events_elided += 1
+                    if self._phantom_seq == cur:
+                        self._phantom_count += 1
+                    else:
+                        self._phantom_seq = cur
+                        self._phantom_count = 1
+            else:
+                kid_wake[kid] = busy
+                heappush(
+                    queue._heap, (busy, 1, queue._seq, self._wake_kid_cb, kid)
+                )
+                queue._seq += 1
+                cur = queue.now_seq
+                self._kid_elide_seq[kid] = cur
+                self.events_elided += 1
+                if self._phantom_seq == cur:
+                    self._phantom_count += 1
+                else:
+                    self._phantom_seq = cur
+                    self._phantom_count = 1
 
     def _wake_kid(self, kid: int) -> None:
         """Fused wake → try-issue → pick → issue for bank ``kid``."""
@@ -471,6 +630,12 @@ class FastMemoryController(MemoryController):
         if kid_wake[kid] != now:
             return  # superseded leftover; an earlier wake already ran
         kid_wake[kid] = None
+        dups = self._kid_dup[kid]
+        if dups:
+            # The python path processes its superseded duplicates at this
+            # same firing time; they are now provably spent.
+            self.events_elided += dups
+            self._kid_dup[kid] = 0
         busy_until = self._busy_arr[kid]
         if busy_until > now:
             kid_wake[kid] = busy_until
@@ -480,26 +645,64 @@ class FastMemoryController(MemoryController):
             queue._seq += 1
             return
         key = self._kid_key[kid]
-        # -- pick (reference ``_pick`` inlined) ---------------------------
+        index = self._kid_reads[kid]
         if self._write_occupancy:
             writes = self._kid_writes[kid]
             has_writes = writes.size > 0
-            if has_writes and self._draining_writes:
-                request = writes.peek()
-            else:
-                request = None
         else:
             writes = None
             has_writes = False
+        if index.size == 0 and not has_writes:
+            return
+        # -- command-bus slot ---------------------------------------------
+        # Hoisted above the pick: the slot condition is independent of the
+        # arbitration outcome, and policy select paths are pure modulo
+        # memoization (verify arbitration mode already calls them twice
+        # per decision), so when the slot is booked the reference's
+        # pick-then-discard is skipped wholesale and the bank re-arms at
+        # the slot exactly as the reference does.  Guarded by the
+        # emptiness check above: an empty bank returns without re-arming
+        # on both backends.
+        channel_id = key[0]
+        lastcmd = self._lastcmd_arr
+        slot = lastcmd[channel_id] + self._tCK
+        if slot > now:
+            # ``kid_wake[kid]`` was just cleared, so the pending-wake
+            # test of the reference path is vacuously true here.
+            kid_wake[kid] = slot
+            heappush(
+                queue._heap, (slot, 1, queue._seq, self._wake_kid_cb, kid)
+            )
+            queue._seq += 1
+            return
+        # -- pick (reference ``_pick`` inlined) ---------------------------
+        if has_writes and self._draining_writes:
+            request = writes.peek()
+        else:
             request = None
         if request is None:
-            index = self._kid_reads[kid]
-            if index.size > 0:
+            size = index.size
+            if size == 1 and not self._verify_index:
+                # Forced decision: with exactly one buffered read, every
+                # policy returns it — skip arbitration entirely (no
+                # refresh_index, no epoch check, no key rebuild).  Policy
+                # select paths must be pure modulo memoization (verify
+                # arbitration mode already calls them twice per decision),
+                # so the skipped consultation has no observable effect;
+                # scheduler epoch state re-derives at the next contended
+                # arbitration from the same counters the reference backend
+                # sees there, and a stale key array is dropped exactly on
+                # removal (see the inlined remove below).
+                for bucket in index.rows.values():
+                    request = bucket[0]
+                    break
+            elif size > 0:
                 if self._use_index:
                     sched = self.scheduler
                     if self._generic_select:
-                        # ``Scheduler.select_indexed`` inlined, with the
-                        # ``peek``/``peek_row`` lazy-deletion loops.
+                        # ``Scheduler.select_indexed`` on the packed
+                        # kernel: two cached-minimum reads plus (at most)
+                        # one shifted int compare.
                         refresh = self._refresh_index
                         if refresh is not None:
                             refresh(now)
@@ -515,41 +718,37 @@ class FastMemoryController(MemoryController):
                                     epoch=sched.index_epoch,
                                     size=index.size,
                                 )
+                        best = index.best
                         row = self._openrow_arr[kid]
-                        hit = None
-                        if row is not None and sched.index_uses_row:
-                            row_heap = index.row_heaps.get(row)
-                            if row_heap is not None:
-                                while row_heap:
-                                    e = row_heap[0]
-                                    if e[1].buf_pos >= 0:
-                                        hit = e
-                                        break
-                                    heappop(row_heap)
-                        # Read live, never cached: STFM flips its prefix
-                        # length at runtime when it toggles between fair
-                        # mode and FR-FCFS mode.
-                        prefix = sched.index_prefix_len
-                        if hit is not None and prefix == 0:
-                            # No key prefix outranks a row hit (FR-FCFS
-                            # family): the all-requests peek is dead work.
-                            # Its lazily-deleted entries stay heap-top a
-                            # little longer; the next non-hit pick drains
-                            # them, and the chosen request is identical.
-                            request = hit[1]
+                        if row is None or not self._uses_row:
+                            request = best[1]
                         else:
-                            heap_all = index.heap
-                            while True:
-                                best = heap_all[0]
-                                if best[1].buf_pos >= 0:
-                                    break
-                                heappop(heap_all)
-                            if hit is None:
+                            hit = index.row_best.get(row)
+                            if hit is None or hit is best:
                                 request = best[1]
-                            elif hit[0][:prefix] == best[0][:prefix]:
-                                request = hit[1]
+                            elif self._packed_keys:
+                                # Read live, never cached: STFM flips its
+                                # prefix when it toggles between fair mode
+                                # (shift above the age bits) and FR-FCFS
+                                # mode (None: a hit always wins).
+                                shift = sched.pack_prefix_shift
+                                if shift is None or (hit[0] >> shift) == (
+                                    best[0] >> shift
+                                ):
+                                    request = hit[1]
+                                else:
+                                    request = best[1]
                             else:
-                                request = best[1]
+                                # Tuple-key fallback (no pack_key): same
+                                # prefix rule as the reference index.
+                                prefix = sched.index_prefix_len
+                                if (
+                                    prefix == 0
+                                    or hit[0][:prefix] == best[0][:prefix]
+                                ):
+                                    request = hit[1]
+                                else:
+                                    request = best[1]
                     else:
                         request = sched.select_indexed(
                             index, key, now, self._openrow_arr[kid]
@@ -564,40 +763,26 @@ class FastMemoryController(MemoryController):
                 request = writes.peek()
             else:
                 return
-        # -- command-bus slot ---------------------------------------------
-        channel_id = key[0]
-        lastcmd = self._lastcmd_arr
-        slot = lastcmd[channel_id] + self._tCK
-        if slot <= now:
-            lastcmd[channel_id] = now
-        else:
-            pending = kid_wake[kid]
-            if pending is None or pending > slot:
-                kid_wake[kid] = slot
-                heappush(
-                    queue._heap, (slot, 1, queue._seq, self._wake_kid_cb, kid)
-                )
-                queue._seq += 1
-            return
+        # Slot availability was checked before the pick; book it now.
+        lastcmd[channel_id] = now
         # -- issue (reference ``_issue`` fused) ---------------------------
         guard = self.guard
         if guard is not None:
             guard.on_pre_issue(request, key, now)
         if request.is_read:
-            index = self._kid_reads[kid]
-            # ``BankReadIndex.remove`` inlined: swap-pop; heap entries die
-            # lazily via ``buf_pos = -1``.
+            # ``FastBankSched.remove`` inlined: exact swap-pop of the row
+            # bucket and its parallel key array; a cached minimum is
+            # rebuilt (one C-level ``min`` over ints) only when the issued
+            # request held it.
             row = request.row
             rows = index.rows
             bucket = rows[row]
+            pos = request.buf_pos
             last = bucket.pop()
             if last is not request:
-                bucket[request.buf_pos] = last
-                last.buf_pos = request.buf_pos
+                bucket[pos] = last
+                last.buf_pos = pos
             request.buf_pos = -1
-            if not bucket:
-                del rows[row]
-                index.row_heaps.pop(row, None)
             counts = index.thread_counts
             tid = request.thread_id
             remaining = counts[tid] - 1
@@ -606,6 +791,35 @@ class FastMemoryController(MemoryController):
             else:
                 del counts[tid]
             index.size -= 1
+            keys = index.keys
+            kbucket = keys.get(row)
+            if kbucket is not None:
+                if len(kbucket) == len(bucket) + 1:
+                    klast = kbucket.pop()
+                    if last is not request:
+                        kbucket[pos] = klast
+                else:
+                    # Desynced since an epoch bump (pushes were skipped);
+                    # the pending ensure() rebuilds keys and minima.
+                    del keys[row]
+                    index.row_best.pop(row, None)
+                    kbucket = None
+            row_best = index.row_best
+            if not bucket:
+                del rows[row]
+                keys.pop(row, None)
+                row_best.pop(row, None)
+            else:
+                rb = row_best.get(row)
+                if rb is not None and rb[1] is request:
+                    if kbucket:
+                        m = min(kbucket)
+                        row_best[row] = (m, bucket[kbucket.index(m)])
+                    else:
+                        row_best.pop(row, None)
+            best = index.best
+            if best is not None and best[1] is request:
+                index.best = min(row_best.values()) if row_best else None
             self._reads_per_thread[tid] -= 1
             self.read_occupancy -= 1
         else:
@@ -673,63 +887,97 @@ class FastMemoryController(MemoryController):
             self._wrec_arr[kid] = completion + self._tWR
         self._acc_arr[kid] += 1
         # -- end of inlined kernel ----------------------------------------
-        log = self.command_log
-        if self._want_outcome or log is not None:
-            tup = (
-                now,
-                data_start,
-                completion,
-                completion,
-                row_result,
-                precharge_at,
-                activate_at,
-                cas_at,
-            )
-            request.service_outcome = AccessOutcome(*tup)
         # Keep the object model's row buffer current: scan-mode selects,
         # ``Scheduler._row_hit`` and the stall report read it mid-run.
-        bank = self._kid_bank[kid]
-        bank.open_row = request.row
-        if self._mirror_bus:
-            fast = self.fast
-            bank.busy_until = completion
-            bus = self.channels[channel_id].bus
-            bus.free_at = fast.bus_free[channel_id]
-            bus.busy_cycles = fast.bus_busy[channel_id]
-            bus.transfers = fast.bus_transfers[channel_id]
-            bus.wait_cycles = fast.bus_wait[channel_id]
-        if guard is not None:
-            guard.on_post_issue(request, request.service_outcome, key, now)
-        probe = self._p_req
-        if probe is not None:
-            probe.emit(
-                now,
-                "request.issue",
-                req=self._rid(request),
-                thread=request.thread_id,
-                ch=request.channel,
-                bank=request.bank,
-                row=request.row,
-                result=row_result,
-                queued=now - request.arrival_time,
-            )
-        cmd_probe = self._p_cmd
-        if cmd_probe is not None:
-            self._emit_cmds(request, request.service_outcome)
-        if log is not None:
-            # ``tup`` field order is ``AccessOutcome.as_tuple()``.
-            log.append(
-                (
+        self._kid_bank[kid].open_row = row
+        log = self.command_log
+        if self._issue_lean:
+            # Nothing attached (no guard, tracer, telemetry or outcome
+            # consumer): one pre-bound flag replaces the five
+            # probe-or-None checks of the full epilogue below.  Only the
+            # command log stays a live check — verify mode enables it
+            # after construction.
+            if log is not None:
+                tup = (
                     now,
-                    self._rid(request),
-                    request.thread_id,
-                    request.channel,
-                    request.bank,
-                    request.row,
-                    request.is_read,
+                    data_start,
+                    completion,
+                    completion,
+                    row_result,
+                    precharge_at,
+                    activate_at,
+                    cas_at,
                 )
-                + tup
-            )
+                request.service_outcome = AccessOutcome(*tup)
+                # ``tup`` field order is ``AccessOutcome.as_tuple()``.
+                log.append(
+                    (
+                        now,
+                        self._rid(request),
+                        request.thread_id,
+                        request.channel,
+                        request.bank,
+                        request.row,
+                        request.is_read,
+                    )
+                    + tup
+                )
+        else:
+            if self._want_outcome or log is not None:
+                tup = (
+                    now,
+                    data_start,
+                    completion,
+                    completion,
+                    row_result,
+                    precharge_at,
+                    activate_at,
+                    cas_at,
+                )
+                request.service_outcome = AccessOutcome(*tup)
+            if self._mirror_bus:
+                fast = self.fast
+                bank = self._kid_bank[kid]
+                bank.busy_until = completion
+                bus = self.channels[channel_id].bus
+                bus.free_at = fast.bus_free[channel_id]
+                bus.busy_cycles = fast.bus_busy[channel_id]
+                bus.transfers = fast.bus_transfers[channel_id]
+                bus.wait_cycles = fast.bus_wait[channel_id]
+            if guard is not None:
+                guard.on_post_issue(
+                    request, request.service_outcome, key, now
+                )
+            probe = self._p_req
+            if probe is not None:
+                probe.emit(
+                    now,
+                    "request.issue",
+                    req=self._rid(request),
+                    thread=request.thread_id,
+                    ch=request.channel,
+                    bank=request.bank,
+                    row=request.row,
+                    result=row_result,
+                    queued=now - request.arrival_time,
+                )
+            cmd_probe = self._p_cmd
+            if cmd_probe is not None:
+                self._emit_cmds(request, request.service_outcome)
+            if log is not None:
+                # ``tup`` field order is ``AccessOutcome.as_tuple()``.
+                log.append(
+                    (
+                        now,
+                        self._rid(request),
+                        request.thread_id,
+                        request.channel,
+                        request.bank,
+                        request.row,
+                        request.is_read,
+                    )
+                    + tup
+                )
 
         tid = request.thread_id
         stats = self._stats_by_tid[tid]
@@ -845,6 +1093,19 @@ class FastMemoryController(MemoryController):
         raise NotImplementedError(
             "fast controller fuses _try_issue into _wake_kid"
         )
+
+    def finalize_elision(self) -> None:
+        """End-of-run elision reconciliation (called by ``System.run``).
+
+        The run loop exits as soon as the last core finishes, mid-cycle:
+        immediate wakes the final event would have armed on the python
+        path never get processed there, so the elisions recorded during
+        that event must not count.  (Deferred duplicates need no fix-up —
+        any still pending in ``_kid_dup`` were never counted.)
+        """
+        if self._phantom_seq == self.queue.now_seq:
+            self.events_elided -= self._phantom_count
+            self._phantom_seq = -2
 
     # ----------------------------------------------------------- interop
     def sync_state(self) -> None:

@@ -36,6 +36,12 @@ Selection semantics are defined by the schedulers' scan implementations;
 see :meth:`Scheduler.select_indexed` for the prefix-comparison rule that
 makes the two bit-identical, and ``tests/test_rqindex.py`` for the golden
 equivalence harness that runs both side by side.
+
+The fast backend swaps this heap-backed index for
+:class:`~repro.dram.fastsched.FastBankSched` — same duck-typed API and
+epoch protocol, but packed-integer sort keys and cached minima instead
+of heaps; ``tests/test_fastsched.py`` fuzzes the two against each other
+op for op.
 """
 
 from __future__ import annotations

@@ -90,12 +90,17 @@ class EventQueue:
 
     # Slotted: ``now`` and ``_seq`` are read/written multiple times per
     # event by the run loop and the fast backend's inlined push sites.
-    __slots__ = ("now", "_heap", "_seq")
+    # ``now_seq`` is the sequence number of the event currently being
+    # dispatched — sequence numbers are unique, so it identifies *which*
+    # event is running, not just when.  The fast backend's wake elision
+    # uses it to tell same-event enqueues apart from same-cycle ones.
+    __slots__ = ("now", "_heap", "_seq", "now_seq")
 
     def __init__(self) -> None:
         self.now: int = 0
         self._heap: list[tuple[int, int, int, Callable[[], None]]] = []
         self._seq: int = 0
+        self.now_seq: int = -1
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -134,10 +139,11 @@ class EventQueue:
         """Run the earliest pending event.  Returns ``False`` if none remain."""
         if not self._heap:
             return False
-        when, _prio, _seq, callback = heapq.heappop(self._heap)
+        when, _prio, seq, callback = heapq.heappop(self._heap)
         if when < self.now:
             raise SimulationError("event heap time went backwards")
         self.now = when
+        self.now_seq = seq
         callback()
         return True
 

@@ -36,6 +36,24 @@ The index protocol a policy opts into by defining :meth:`index_key`:
     Called before each indexed decision; a policy whose priority state
     drifts continuously (STFM) re-derives it here and bumps the epoch
     only when the drift actually changes buffered keys.
+
+The fast backend's packed-key kernel (:mod:`repro.dram.fastsched`) adds
+an optional second encoding of the same order:
+
+``pack_key(request)``
+    ``index_key`` packed into one integer — policy fields stacked above
+    the request id in the low :data:`~repro.dram.fastsched.AGE_BITS`
+    bits (ids are allocated at construction and requests enqueue
+    immediately, so the raw id orders identically to ``(arrival_time,
+    request_id)``).  Must sort identically to ``index_key`` and obey the
+    same epoch protocol.  Policies without it still run on the fast
+    backend using their tuple keys.
+``pack_prefix_shift``
+    ``index_prefix_len`` in shift form: right-shifting two packed keys
+    by this many bits compares exactly the prefix components.  ``None``
+    means an empty prefix (nothing outranks a row hit) — policies whose
+    prefix length changes at runtime (STFM) must flip both attributes
+    together.
 """
 
 from __future__ import annotations
@@ -67,6 +85,14 @@ class Scheduler(ABC):
     index_key: Callable[[MemoryRequest], tuple] | None = None
     index_prefix_len: int = 0
     index_uses_row: bool = True
+
+    # Packed-integer twin of ``index_key`` for the fast backend's
+    # flat-array kernel (see module docstring); optional — ``None`` falls
+    # back to the tuple keys inside :class:`~repro.dram.fastsched.
+    # FastBankSched`.  ``pack_prefix_shift`` is ``index_prefix_len``
+    # expressed as a right-shift bit count (``None`` = empty prefix).
+    pack_key: Callable[[MemoryRequest], int] | None = None
+    pack_prefix_shift: int | None = None
 
     # Set True by policies whose hooks read ``request.service_outcome``
     # (e.g. STFM's row-hit-aware alone-time model).  The fast backend

@@ -27,6 +27,11 @@ class FcfsScheduler(Scheduler):
     def index_key(self, request: MemoryRequest) -> tuple:
         return (request.arrival_time, request.request_id)
 
+    def pack_key(self, request: MemoryRequest) -> int:
+        # Ids are allocated at construction and requests enqueue
+        # immediately, so the raw id orders identically to (arrival, id).
+        return request.request_id
+
     def select(
         self, candidates: Sequence[MemoryRequest], bank: BankKey, now: int
     ) -> MemoryRequest:

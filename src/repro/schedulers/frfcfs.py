@@ -33,6 +33,12 @@ class FrFcfsScheduler(Scheduler):
     def index_key(self, request: MemoryRequest) -> tuple:
         return (request.arrival_time, request.request_id)
 
+    # Packed form: the raw id alone (id order == age order); the prefix
+    # stays empty (``pack_prefix_shift`` None), so the fast kernel's
+    # open-row best always wins when the bucket is non-empty.
+    def pack_key(self, request: MemoryRequest) -> int:
+        return request.request_id
+
     def select(
         self, candidates: Sequence[MemoryRequest], bank: BankKey, now: int
     ) -> MemoryRequest:

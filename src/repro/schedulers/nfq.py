@@ -23,13 +23,15 @@ destroys the latter's bank-level parallelism.
 
 from __future__ import annotations
 
-from collections import defaultdict
+from struct import Struct
 from typing import Sequence
 
 from ..dram.request import MemoryRequest
 from .base import BankKey, Scheduler
 
 __all__ = ["NfqScheduler"]
+
+_DOUBLE_BITS = Struct(">d").pack
 
 
 class NfqScheduler(Scheduler):
@@ -46,17 +48,45 @@ class NfqScheduler(Scheduler):
         super().__init__()
         self.num_threads = num_threads
         self.weights = dict(weights or {})
-        # Virtual finish time of the last request per (thread, channel, bank).
-        self._vft: dict[tuple[int, int, int], float] = defaultdict(float)
-        # Last row requested per (thread, channel, bank), to estimate the
-        # service cost of a new request (row hits are cheap, so threads with
-        # high row locality consume their share slowly).
-        self._last_row: dict[tuple[int, int, int], int] = {}
         # Time at which the currently open row of each bank was last opened
         # by this policy's accounting (for priority-inversion prevention).
         self._row_open_since: dict[BankKey, int] = {}
         self._row_open_row: dict[BankKey, int | None] = {}
         self._inversion_threshold = inversion_threshold
+        # Shares are fixed at construction (weights are not mutated mid-
+        # run), so the normalizing sum in ``_share`` is hoisted out of the
+        # per-enqueue deadline stamp into a flat per-thread table.
+        self._share_by_tid: list[float] = [
+            self._share(tid) for tid in range(num_threads)
+        ]
+        # Per-(thread, channel, bank) virtual-finish / last-row state; laid
+        # out flat in :meth:`attach` once the bank geometry is known (the
+        # deadline stamp runs once per enqueue, where a list index beats a
+        # tuple-keyed dict).  Zero-filled vft matches the defaultdict the
+        # accounting originally used; ``None`` never equals a row id.
+        self._vft_flat: list[float] = []
+        self._last_row_flat: list[int | None] = []
+        self._nch = 0
+        self._nbanks = 0
+
+    def attach(self, controller) -> None:  # type: ignore[override]
+        super().attach(controller)
+        timing = controller.timing
+        # Loop-invariant cost model and inversion budget, resolved once:
+        # ``row_conflict_latency`` is a property and ``tRAS`` an attribute
+        # chase, both otherwise re-derived per enqueue / per arbitration.
+        self._hit_cost = timing.row_hit_latency + timing.tBUS
+        self._miss_cost = timing.row_conflict_latency + timing.tBUS
+        self._inv_thresh = (
+            self._inversion_threshold
+            if self._inversion_threshold is not None
+            else timing.tRAS
+        )
+        self._nch = len(controller.channels)
+        self._nbanks = len(controller.channels[0].banks)
+        n = self.num_threads * self._nch * self._nbanks
+        self._vft_flat = [0.0] * n
+        self._last_row_flat = [None] * n
 
     # -- share bookkeeping ---------------------------------------------------
     def _share(self, thread_id: int) -> float:
@@ -67,19 +97,27 @@ class NfqScheduler(Scheduler):
     def _estimated_cost(self, request: MemoryRequest) -> int:
         """Estimated service cost: row-hit latency if the thread's previous
         request to this bank targeted the same row, conflict cost otherwise."""
-        t = self.controller.timing
-        key = (request.thread_id, request.channel, request.bank)
-        if self._last_row.get(key) == request.row:
-            return t.row_hit_latency + t.tBUS
-        return t.row_conflict_latency + t.tBUS
+        idx = (
+            request.thread_id * self._nch + request.channel
+        ) * self._nbanks + request.bank
+        if self._last_row_flat[idx] == request.row:
+            return self._hit_cost
+        return self._miss_cost
 
     def on_enqueue(self, request: MemoryRequest, now: int) -> None:
-        key = (request.thread_id, request.channel, request.bank)
-        start = max(float(now), self._vft[key])
-        cost = self._estimated_cost(request) / self._share(request.thread_id)
-        self._last_row[key] = request.row
-        finish = start + cost
-        self._vft[key] = finish
+        tid = request.thread_id
+        idx = (tid * self._nch + request.channel) * self._nbanks + request.bank
+        vft = self._vft_flat
+        start = float(now)
+        prev = vft[idx]
+        if prev > start:
+            start = prev
+        last_row = self._last_row_flat
+        row = request.row
+        cost = self._hit_cost if last_row[idx] == row else self._miss_cost
+        last_row[idx] = row
+        finish = start + cost / self._share_by_tid[tid]
+        vft[idx] = finish
         request.virtual_finish = finish
 
     def on_issue(self, request: MemoryRequest, now: int) -> None:
@@ -94,6 +132,16 @@ class NfqScheduler(Scheduler):
         # NFQ keys are static and the epoch never bumps.
         return (request.virtual_finish, request.arrival_time, request.request_id)
 
+    def pack_key(self, request: MemoryRequest) -> int:
+        # Virtual finish times are non-negative, and non-negative IEEE-754
+        # doubles order identically to their big-endian bit patterns, so
+        # the float packs into the integer key without losing a single
+        # comparison: (vf bits, id) sorts exactly like (vf, arrival, id).
+        return (
+            int.from_bytes(_DOUBLE_BITS(request.virtual_finish), "big") << 40
+            | request.request_id
+        )
+
     def select_indexed(
         self, index, bank: BankKey, now: int, open_row: int | None
     ) -> MemoryRequest:
@@ -107,23 +155,18 @@ class NfqScheduler(Scheduler):
         if open_row is not None:
             hit = index.peek_row(open_row)
             if hit is not None:
-                threshold = self._inversion_threshold
-                if threshold is None:
-                    threshold = self.controller.timing.tRAS
-                if now - self._row_open_since.get(bank, now) < threshold:
+                if now - self._row_open_since.get(bank, now) < self._inv_thresh:
                     return hit[1]
         return index.peek()[1]
 
     def select(
         self, candidates: Sequence[MemoryRequest], bank: BankKey, now: int
     ) -> MemoryRequest:
-        threshold = self._inversion_threshold
-        if threshold is None:
-            # Nesbit et al. bound priority inversion with a tRAS threshold:
-            # an open row may divert service from earlier virtual deadlines
-            # for at most tRAS.  This is what limits the row-buffer locality
-            # NFQ can exploit (paper Section 8.1.3).
-            threshold = self.controller.timing.tRAS
+        # Nesbit et al. bound priority inversion with a tRAS threshold: an
+        # open row may divert service from earlier virtual deadlines for at
+        # most tRAS.  This is what limits the row-buffer locality NFQ can
+        # exploit (paper Section 8.1.3).  Resolved once in :meth:`attach`.
+        threshold = self._inv_thresh
         # Row-hit status is derived from the bank's open row, resolved once
         # per arbitration rather than per candidate.
         open_row = self.controller.channels[bank[0]].banks[bank[1]].open_row

@@ -90,6 +90,16 @@ class StfmScheduler(Scheduler):
         # keys are built against this snapshot; ``refresh_index`` bumps the
         # epoch only when a decision actually observes a different mode.
         self._index_mode: tuple[bool, int] = (False, -1)
+        # Cycle the mode was last derived for: several banks arbitrating in
+        # the same cycle with no counter changes in between would re-derive
+        # the identical (fair, slowest) decision from the identical
+        # slowdown table — skip the scan entirely (see ``refresh_index``).
+        self._mode_time = -1
+        # Flat weight mirror for the inlined slowdown math in
+        # ``_slowdowns`` (thread ids are dense).
+        self._weight_by_tid: list[float] = [
+            self.weights.get(tid, 1.0) for tid in range(num_threads)
+        ]
 
     # -- bookkeeping -----------------------------------------------------------
     def _advance(self, thread_id: int, now: int) -> None:
@@ -117,20 +127,30 @@ class StfmScheduler(Scheduler):
         count = self._busy_bank_count[thread_id]
         return count if count > 1 else 1
 
+    # The three lifecycle hooks run once per request event and together
+    # dominate STFM's bookkeeping cost, so ``_advance``, ``_mark_dirty``
+    # and the (almost always false) ``_decay`` trigger check are inlined
+    # into their bodies; the helper methods above remain the documented
+    # reference for what the inlined statements do.
     def on_enqueue(self, request: MemoryRequest, now: int) -> None:
         if not request.is_read:
             return
         tid = request.thread_id
-        self._advance(tid, now)
-        self._outstanding[tid] += 1
+        out = self._outstanding[tid]
+        if out > 0:
+            self._t_shared[tid] += now - self._last_change[tid]
+        self._last_change[tid] = now
+        self._outstanding[tid] = out + 1
         bank_counts = self._banks_busy[tid]
         key: BankKey = (request.channel, request.bank)
         before = bank_counts.get(key, 0)
         bank_counts[key] = before + 1
         if before == 0:
             self._busy_bank_count[tid] += 1
-        self._decay(now)
-        self._mark_dirty(tid)
+        if now - self._last_decay >= self.interval_length:
+            self._decay(now)
+        self._sd_dirty[tid] = True
+        self._sd_any_dirty = True
 
     def on_issue(self, request: MemoryRequest, now: int) -> None:
         if not request.is_read:
@@ -141,26 +161,39 @@ class StfmScheduler(Scheduler):
         # Charge interference to every *other* thread waiting on this bank
         # (the controller maintains per-bank thread counts, so no scan).
         issuer = request.thread_id
+        t_interference = self._t_interference
+        busy_count = self._busy_bank_count
+        dirty = self._sd_dirty
+        charged = False
         for tid in self.controller.buffered_read_threads(key):
             if tid == issuer:
                 continue
-            self._t_interference[tid] += duration / self._bank_parallelism(tid)
-            self._mark_dirty(tid)
+            count = busy_count[tid]
+            t_interference[tid] += duration / (count if count > 1 else 1)
+            dirty[tid] = True
+            charged = True
+        if charged:
+            self._sd_any_dirty = True
 
     def on_complete(self, request: MemoryRequest, now: int) -> None:
         if not request.is_read:
             return
         tid = request.thread_id
-        self._advance(tid, now)
-        self._outstanding[tid] -= 1
+        out = self._outstanding[tid]
+        if out > 0:
+            self._t_shared[tid] += now - self._last_change[tid]
+        self._last_change[tid] = now
+        self._outstanding[tid] = out - 1
         bank_counts = self._banks_busy[tid]
         key: BankKey = (request.channel, request.bank)
         after = bank_counts[key] - 1
         bank_counts[key] = after
         if after == 0:
             self._busy_bank_count[tid] -= 1
-        self._decay(now)
-        self._mark_dirty(tid)
+        if now - self._last_decay >= self.interval_length:
+            self._decay(now)
+        self._sd_dirty[tid] = True
+        self._sd_any_dirty = True
 
     # -- slowdown estimation -----------------------------------------------------
     def slowdown(self, thread_id: int, now: int | None = None) -> float:
@@ -192,13 +225,36 @@ class StfmScheduler(Scheduler):
         if self._slowdown_cache_time == now and not self._sd_any_dirty:
             return cache
         t_shared = self._t_shared
+        t_interference = self._t_interference
+        last_change = self._last_change
+        weight_by_tid = self._weight_by_tid
         outstanding = self._outstanding
         dirty = self._sd_dirty
         sd_time = self._sd_time
         for tid in range(self.num_threads):
-            if t_shared[tid] > 0 or outstanding[tid] > 0:
-                if dirty[tid] or (outstanding[tid] > 0 and sd_time[tid] != now):
-                    cache[tid] = self.slowdown(tid, now)
+            out = outstanding[tid]
+            shared = t_shared[tid]
+            if shared > 0 or out > 0:
+                if dirty[tid] or (out > 0 and sd_time[tid] != now):
+                    # ``slowdown(tid, now)`` inlined: identical expressions
+                    # in identical order, minus the call and dict lookups
+                    # (this runs for every dirty/outstanding thread on
+                    # every arbitration cycle).
+                    if out > 0:
+                        shared += now - last_change[tid]
+                    if shared <= 0:
+                        cache[tid] = 1.0
+                    else:
+                        interference = t_interference[tid]
+                        limit = shared * 0.999
+                        if interference > limit:
+                            interference = limit
+                        alone = shared - interference
+                        if alone < 1e-9:
+                            alone = 1e-9
+                        cache[tid] = (
+                            1.0 + (shared / alone - 1.0) * weight_by_tid[tid]
+                        )
                     dirty[tid] = False
                     sd_time[tid] = now
             elif dirty[tid]:
@@ -216,19 +272,40 @@ class StfmScheduler(Scheduler):
         # fair mode on/off, and which thread is slowest — changes.  Derive
         # that decision exactly as ``select`` does and bump the epoch on a
         # flip, so heaps rebuild per flip rather than per estimate update.
+        # When the slowdown table is untouched since the last derivation in
+        # this same cycle (several banks arbitrating back to back), the
+        # decision cannot have changed either — skip the scan.
+        if self._mode_time == now and not self._sd_any_dirty:
+            return
         slowdowns = self._slowdowns(now)
+        self._mode_time = now
+        # max/min/argmax fused into one pass; the argmax tie-break prefers
+        # the lower thread id, matching ``max(key=lambda t: (s[t], -t))``.
         fair = False
         slowest = -1
         if slowdowns:
-            worst = max(slowdowns.values())
-            best = min(slowdowns.values())
+            worst = best = None
+            worst_tid = -1
+            for tid, estimate in slowdowns.items():
+                if worst is None:
+                    worst = best = estimate
+                    worst_tid = tid
+                else:
+                    if estimate > worst or (
+                        estimate == worst and tid < worst_tid
+                    ):
+                        worst = estimate
+                        worst_tid = tid
+                    if estimate < best:
+                        best = estimate
             if best > 0 and worst / best > self.alpha:
                 fair = True
-                slowest = max(slowdowns, key=lambda t: (slowdowns[t], -t))
+                slowest = worst_tid
         mode = (fair, slowest)
         if mode != self._index_mode:
             self._index_mode = mode
             self.index_prefix_len = 1 if fair else 0
+            self.pack_prefix_shift = 40 if fair else None
             self.bump_index_epoch(now)
 
     def index_key(self, request: MemoryRequest) -> tuple:
@@ -240,6 +317,15 @@ class StfmScheduler(Scheduler):
                 request.request_id,
             )
         return (request.arrival_time, request.request_id)
+
+    def pack_key(self, request: MemoryRequest) -> int:
+        # Fair mode: one boost bit (0 = the slowest thread) above the age;
+        # throughput mode: pure age (the prefix is empty, matching
+        # ``pack_prefix_shift`` None).
+        fair, slowest = self._index_mode
+        if fair:
+            return (request.thread_id != slowest) << 40 | request.request_id
+        return request.request_id
 
     def select(
         self, candidates: Sequence[MemoryRequest], bank: BankKey, now: int

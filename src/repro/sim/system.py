@@ -156,9 +156,14 @@ class System:
         self._sync_state = getattr(self.controller, "sync_state", None)
 
         self._finished = 0
-        # Events processed by the last ``run()`` — the numerator of the
-        # simulator-throughput metric (events/sec) in bench_simrate.
+        # Events processed by the last ``run()``.  ``events_logical`` adds
+        # the wakes the fast backend elided (see fastctl): it equals the
+        # python backend's processed count for the same run and is the
+        # numerator of the simulator-throughput metric (events/sec) in
+        # bench_simrate.  On the python backend the two are identical.
         self.events_processed = 0
+        self.events_elided = 0
+        self.events_logical = 0
         self.cores: list[Core] = []
         self.hierarchies: list[CacheHierarchy] = []
         core_probe = tracer.probe("core") if tracer is not None else None
@@ -256,6 +261,7 @@ class System:
                 entry = pop(heap)
                 when = entry[0]
                 queue.now = when
+                queue.now_seq = entry[2]
                 if len(entry) == 4:
                     entry[3]()
                 else:
@@ -293,6 +299,11 @@ class System:
             if gc_was_enabled:
                 gc.enable()
         self.events_processed = events
+        finalize_elision = getattr(self.controller, "finalize_elision", None)
+        if finalize_elision is not None:
+            finalize_elision()
+        self.events_elided = getattr(self.controller, "events_elided", 0)
+        self.events_logical = events + self.events_elided
         if self._sync_state is not None:
             self._sync_state()
         if self.telemetry is not None:
