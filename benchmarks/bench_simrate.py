@@ -369,6 +369,62 @@ def test_probe_overhead_within_gate() -> None:
     )
 
 
+def test_metrics_probe_overhead_within_gate() -> None:
+    """The metrics registry must be invisible to the simulation hot path.
+
+    Metrics default *on*, so the committed baseline already includes
+    whatever they cost — the enabled run must sit inside the standard
+    20% regression gate.  Turning them off may change nothing but the
+    probe: every site then holds exactly ``None`` (one ``is not None``
+    test, zero added per-event branches), so the deterministic
+    event/cycle counts must be bit-identical between the two runs and
+    against the committed baseline.
+    """
+    import os
+
+    from repro.obs.metrics import metrics_from_env, reset_metrics
+
+    baseline = json.loads(BASELINE_PATH.read_text())
+    ref = baseline["backends"]["python"]["schedulers"]["PAR-BS"]
+    instructions = baseline["instructions_per_thread"]
+
+    def best_of(repeats: int) -> dict:
+        best: dict | None = None
+        for _ in range(repeats):
+            result = measure("PAR-BS", instructions, baseline["seed"])
+            if best is None or result["events_per_sec"] > best["events_per_sec"]:
+                best = result
+        return best
+
+    saved = os.environ.pop("REPRO_METRICS", None)
+    try:
+        assert metrics_from_env() is not None  # default: on
+        enabled = best_of(3)
+        os.environ["REPRO_METRICS"] = "0"
+        assert metrics_from_env() is None  # probe-or-None: exactly None
+        disabled = best_of(3)
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_METRICS", None)
+        else:
+            os.environ["REPRO_METRICS"] = saved
+        reset_metrics()
+    # Off is bit-identical to on, and both match the committed baseline.
+    for key in ("events", "events_processed", "events_elided", "sim_cycles"):
+        assert disabled[key] == enabled[key], (
+            f"{key} drifted when metrics were disabled — a probe is doing "
+            "work beyond the None check"
+        )
+    assert enabled["events"] == ref["events"]
+    assert enabled["sim_cycles"] == ref["sim_cycles"]
+    # Metrics-enabled throughput stays inside the standard 20% gate.
+    floor = ref["events_per_sec"] * 0.8
+    assert enabled["events_per_sec"] >= floor, (
+        f"{enabled['events_per_sec']:.0f} events/sec under metrics-enabled "
+        f"floor {floor:.0f}"
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--scheduler", default="PAR-BS")

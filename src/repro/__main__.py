@@ -62,7 +62,7 @@ _EXPERIMENTS = """Available experiments (paper artifact -> command):
   Figure 14  python -m repro priorities
 
 Infrastructure:
-  Campaigns  python -m repro campaign run|status|resume|report|export SPEC
+  Campaigns  python -m repro campaign run|status|resume|watch|report|export SPEC
   Cache      python -m repro cache stats|prune|clear"""
 
 
@@ -199,6 +199,35 @@ def _build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="print the expanded grid summary and exit",
         )
+    watchp = csub.add_parser(
+        "watch", help="live progress: counts, rate/ETA, merged metrics"
+    )
+    watchp.add_argument("spec")
+    watchp.add_argument("--db", default=None)
+    watchp.add_argument(
+        "--once",
+        action="store_true",
+        help="print one snapshot and exit (default: refresh until done)",
+    )
+    watchp.add_argument(
+        "--interval",
+        type=float,
+        metavar="S",
+        default=5.0,
+        help="refresh interval in seconds (default: 5)",
+    )
+    watchp.add_argument(
+        "--metrics-json",
+        metavar="PATH",
+        default=None,
+        help="also write the merged metrics snapshot as JSON",
+    )
+    watchp.add_argument(
+        "--metrics-prom",
+        metavar="PATH",
+        default=None,
+        help="also write the merged metrics snapshot as Prometheus text",
+    )
     statusp = csub.add_parser("status", help="job lifecycle counts")
     statusp.add_argument(
         "spec",
@@ -281,15 +310,10 @@ def main(argv: list[str] | None = None) -> int:
         # carries cycle/bank/request context or the stall diagnostic dump.
         print(f"error: {exc}", file=sys.stderr)
         return 1
-    if args.command != "list":
-        from .sim.diskcache import GLOBAL_STATS
-
-        print(
-            f"[cache] {GLOBAL_STATS['hits']} hits, "
-            f"{GLOBAL_STATS['misses']} misses, "
-            f"{GLOBAL_STATS['writes']} writes",
-            file=sys.stderr,
-        )
+    # Cache statistics no longer interleave with experiment output here:
+    # they flow through the metrics registry (collect_process_metrics) into
+    # campaign reports and `campaign watch`; `-v` still logs the pool's
+    # one-line cache report at INFO.
     return status
 
 
@@ -432,6 +456,8 @@ def _dispatch_campaign(args: argparse.Namespace, instructions: int | None) -> in
                 tracer.close()
         print(stats.summary_line(spec.name))
         return 1 if stats.failed else 0
+    if args.action == "watch":
+        return _campaign_watch(spec, args)
     with ResultStore(args.db) as store:
         if args.action == "status":
             print(status_report(spec, store))
@@ -440,6 +466,35 @@ def _dispatch_campaign(args: argparse.Namespace, instructions: int | None) -> in
         elif args.action == "export":
             _emit(export_text(spec, store, fmt=args.format), args.out)
     return 0
+
+
+def _campaign_watch(spec, args: argparse.Namespace) -> int:
+    """``campaign watch``: snapshot (or follow) campaign progress."""
+    import time as _time
+
+    from .campaign.store import ResultStore
+    from .campaign.watch import merged_metrics, watch_counts, watch_report
+    from .obs.export import write_snapshot
+
+    while True:
+        # A fresh connection per snapshot: watch is a reader racing a
+        # writer; WAL mode makes that safe, and reconnecting keeps each
+        # snapshot consistent.
+        with ResultStore(args.db) as store:
+            print(watch_report(spec, store))
+            counts = watch_counts(spec, store)
+            if args.metrics_json or args.metrics_prom:
+                snapshot = merged_metrics(spec, store).snapshot()
+                if args.metrics_json:
+                    write_snapshot(args.metrics_json, snapshot)
+                    print(f"wrote {args.metrics_json}")
+                if args.metrics_prom:
+                    write_snapshot(args.metrics_prom, snapshot)
+                    print(f"wrote {args.metrics_prom}")
+        if args.once or not counts["pending"]:
+            return 0
+        _time.sleep(max(0.1, args.interval))
+        print()
 
 
 def _dispatch_cache(args: argparse.Namespace) -> int:

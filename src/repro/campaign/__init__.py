@@ -15,31 +15,44 @@ durable *campaigns*:
   resumes exactly), and retries failed workers with capped backoff;
 * :mod:`~repro.campaign.report` — regenerates the paper's aggregate
   tables (markdown/CSV) and raw per-job exports from the store without
-  re-simulating anything.
+  re-simulating anything;
+* :mod:`~repro.campaign.manifest` — the run manifest: resolved backend,
+  seeds, grid axes and ``REPRO_*`` knobs, pinned per campaign (no
+  timestamps, so manifests are byte-reproducible);
+* :mod:`~repro.campaign.watch` — live progress (``campaign watch``):
+  lifecycle counts, completion rate/ETA, per-variant breakdown, and the
+  merged ``sim.*``/``ops.*``/``wall.*`` metrics snapshot.
 
-CLI: ``python -m repro campaign run|status|resume|report|export``.  The
-``aggregate``, ``sweep`` and ``table4`` experiments execute as campaigns
-under the hood, so every figure pipeline is restartable and queryable.
+CLI: ``python -m repro campaign run|status|resume|watch|report|export``.
+The ``aggregate``, ``sweep`` and ``table4`` experiments execute as
+campaigns under the hood, so every figure pipeline is restartable and
+queryable.
 """
 
+from .manifest import MANIFEST_VERSION, build_manifest
 from .orchestrator import RunStats, run_and_collect, run_campaign
 from .report import campaign_report, export_rows, export_text, status_report
 from .serde import result_from_dict, result_from_json, result_to_dict, result_to_json
 from .spec import CampaignJob, CampaignSpec, Variant, load_spec, spec_from_dict
-from .store import SCHEMA_VERSION, ResultStore, default_db_path
+from .store import SCHEMA_VERSION, STORE_STATS, ResultStore, default_db_path
+from .watch import merged_metrics, watch_counts, watch_report
 
 __all__ = [
     "CampaignJob",
     "CampaignSpec",
+    "MANIFEST_VERSION",
     "ResultStore",
     "RunStats",
     "SCHEMA_VERSION",
+    "STORE_STATS",
     "Variant",
+    "build_manifest",
     "campaign_report",
     "default_db_path",
     "export_rows",
     "export_text",
     "load_spec",
+    "merged_metrics",
     "result_from_dict",
     "result_from_json",
     "result_to_dict",
@@ -48,4 +61,6 @@ __all__ = [
     "run_campaign",
     "spec_from_dict",
     "status_report",
+    "watch_counts",
+    "watch_report",
 ]

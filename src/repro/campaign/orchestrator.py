@@ -30,10 +30,12 @@ from ..config import baseline_system
 from ..guard.chaos import ChaosPlan, chaos_from_env
 from ..metrics.summary import WorkloadResult
 from ..obs.config import TraceConfig
+from ..obs.metrics import collect_process_metrics, job_metrics, metrics_from_env
 from ..obs.trace import Probe
 from ..sim import pool
 from ..sim.diskcache import DiskCache, cache_enabled, default_cache_dir
 from ..sim.pool import POOL_INCIDENT_LIMIT, SimJob, terminate_pool
+from .manifest import build_manifest
 from .spec import CampaignJob, CampaignSpec
 from .store import ResultStore
 
@@ -54,6 +56,9 @@ class RunStats:
     failed: int = 0  # exhausted retries; recorded as failed
     retried: int = 0  # resubmissions after a worker error
     deferred: int = 0  # pending but beyond --limit
+    # Jobs requeued into a fresh pool after a pool incident (not charged
+    # as attempts).  Not part of summary_line — that format is frozen.
+    requeued: int = 0
 
     def summary_line(self, name: str) -> str:
         """The stable one-line digest the CLI prints (CI greps it)."""
@@ -149,6 +154,11 @@ def run_campaign(
                 os.environ["REPRO_CHAOS"] = saved_chaos
     grid = spec.expand()
     store.register(spec, grid)
+    # Pin the run manifest up front: provenance must survive even a run
+    # that is interrupted before its first commit.  The manifest is a
+    # pure function of spec + environment (no timestamps), so a resume
+    # under the same knobs rewrites identical bytes.
+    store.set_manifest(spec.fingerprint(), build_manifest(spec))
     statuses = store.statuses(job.key for job in grid)
     to_run = [job for job in grid if statuses.get(job.key) != "done"]
     stats = RunStats(total=len(grid), skipped=len(grid) - len(to_run))
@@ -178,6 +188,7 @@ def run_campaign(
     if not to_run:
         if probe is not None:
             probe.emit(0, "campaign.done", ran=0, failed=0, skipped=stats.skipped)
+        _finalize_metrics(spec, store, stats)
         return stats
 
     trace = TraceConfig.from_env() or TraceConfig()
@@ -191,9 +202,29 @@ def run_campaign(
     if workers > 1 and cache_dir is not None:
         _prewarm_baselines(to_run, trace)
 
-    def committed(job: CampaignJob, result: WorkloadResult, wall: float) -> None:
+    def committed(
+        job: CampaignJob,
+        result: WorkloadResult,
+        wall: float,
+        attempt: int = 0,
+        worker: str | None = None,
+    ) -> None:
         store.record_result(job.key, result, wall_time_s=wall)
+        events_per_sec = result.events_logical / wall if wall > 0 else None
+        store.record_progress(
+            job.key,
+            attempt,
+            worker,
+            "done",
+            wall_time_s=wall,
+            events_per_sec=events_per_sec,
+            metrics=job_metrics(result),
+        )
         stats.ran += 1
+        registry = metrics_from_env()
+        if registry is not None:
+            registry.counter("campaign.jobs_ran").inc()
+            registry.histogram("campaign.job_wall_s").observe(wall)
         done = stats.skipped + stats.ran
         logger.info(
             "campaign %s: %d/%d done (%s on %d cores)",
@@ -209,8 +240,11 @@ def run_campaign(
                 status="done",
             )
 
-    def gave_up(job: CampaignJob, error: BaseException) -> None:
+    def gave_up(
+        job: CampaignJob, error: BaseException, attempt: int = 0
+    ) -> None:
         store.record_failure(job.key, f"{type(error).__name__}: {error}")
+        store.record_progress(job.key, attempt, None, "failed")
         stats.failed += 1
         logger.warning("campaign %s: job %s failed: %s", spec.name, job.key[:16], error)
         if probe is not None:
@@ -223,12 +257,19 @@ def run_campaign(
                 status="failed",
             )
 
+    def retrying(job: CampaignJob, attempt: int) -> None:
+        stats.retried += 1
+        store.record_progress(job.key, attempt, None, "retrying")
+
     if workers <= 1:
-        _run_serial(to_run, trace, cache_dir, retries, backoff_s, stats, committed, gave_up)
+        _run_serial(
+            to_run, trace, cache_dir, retries, backoff_s, stats,
+            committed, gave_up, retrying,
+        )
     else:
         _run_parallel(
             to_run, trace, cache_dir, workers, retries, backoff_s, stats,
-            committed, gave_up, job_timeout_s,
+            committed, gave_up, retrying, job_timeout_s,
         )
     if probe is not None:
         probe.emit(
@@ -238,32 +279,47 @@ def run_campaign(
             failed=stats.failed,
             skipped=stats.skipped,
         )
+    _finalize_metrics(spec, store, stats)
     return stats
 
 
-def _run_serial(to_run, trace, cache_dir, retries, backoff_s, stats, committed, gave_up):
+def _finalize_metrics(spec: CampaignSpec, store: ResultStore, stats: RunStats) -> None:
+    """Fold this run's counters into the registry and the campaign row."""
+    registry = metrics_from_env()
+    if registry is None:
+        return
+    registry.counter("campaign.jobs_registered").inc(stats.total)
+    registry.counter("campaign.jobs_skipped").inc(stats.skipped)
+    registry.counter("campaign.jobs_failed").inc(stats.failed)
+    registry.counter("campaign.jobs_retried").inc(stats.retried)
+    registry.counter("campaign.jobs_requeued").inc(stats.requeued)
+    store.merge_metrics(spec.fingerprint(), collect_process_metrics().snapshot())
+
+
+def _run_serial(
+    to_run, trace, cache_dir, retries, backoff_s, stats, committed, gave_up, retrying
+):
     for job in to_run:
         sim = _sim_job(job, trace, cache_dir)
         for attempt in range(retries + 1):
-            start = time.perf_counter()
             try:
-                result = pool.run_job(sim)
+                result, wall, worker_pid = pool.run_job_timed(sim)
             except KeyboardInterrupt:
                 raise
             except Exception as exc:
                 if attempt >= retries:
-                    gave_up(job, exc)
+                    gave_up(job, exc, attempt)
                     break
-                stats.retried += 1
+                retrying(job, attempt)
                 time.sleep(min(backoff_s * (2**attempt), _MAX_BACKOFF_S))
             else:
-                committed(job, result, time.perf_counter() - start)
+                committed(job, result, wall, attempt, str(worker_pid))
                 break
 
 
 def _run_parallel(
     to_run, trace, cache_dir, workers, retries, backoff_s, stats, committed, gave_up,
-    job_timeout_s,
+    retrying, job_timeout_s,
 ):
     """Pool execution with pool-death recovery.
 
@@ -280,6 +336,7 @@ def _run_parallel(
     incidents = 0
     while remaining:
         if incidents >= POOL_INCIDENT_LIMIT:
+            pool.POOL_STATS["serial_fallbacks"] += 1
             logger.warning(
                 "worker pool failed %d times; running %d unfinished jobs serially",
                 incidents,
@@ -288,6 +345,7 @@ def _run_parallel(
             _run_serial(
                 [job for job, _attempt in remaining],
                 trace, cache_dir, retries, backoff_s, stats, committed, gave_up,
+                retrying,
             )
             return
         executor = ProcessPoolExecutor(max_workers=min(workers, len(remaining)))
@@ -298,7 +356,7 @@ def _run_parallel(
         def submit(job: CampaignJob, attempt: int) -> bool:
             try:
                 future = executor.submit(
-                    pool.run_job, _sim_job(job, trace, cache_dir)
+                    pool.run_job_timed, _sim_job(job, trace, cache_dir)
                 )
             except BrokenProcessPool:
                 requeue.append((job, attempt))
@@ -320,15 +378,16 @@ def _run_parallel(
                     inflight, timeout=job_timeout_s, return_when=FIRST_COMPLETED
                 )
                 if not finished:
+                    pool.POOL_STATS["timeouts"] += 1
                     broken = (
                         f"no job finished within {job_timeout_s:g}s "
                         f"(pool presumed hung)"
                     )
                     break
                 for future in finished:
-                    job, attempt, started = inflight.pop(future)
+                    job, attempt, _started = inflight.pop(future)
                     try:
-                        result = future.result()
+                        result, wall, worker_pid = future.result()
                     except BrokenProcessPool:
                         # The pool died under this job: requeue at the
                         # same attempt — not the job's fault.
@@ -336,16 +395,16 @@ def _run_parallel(
                         broken = "worker died"
                     except Exception as exc:
                         if attempt >= retries:
-                            gave_up(job, exc)
+                            gave_up(job, exc, attempt)
                             continue
-                        stats.retried += 1
+                        retrying(job, attempt)
                         # Capped backoff in the submitting process: a
                         # worker crash (OOM kill, wedged node) should not
                         # be hammered back instantly.
                         time.sleep(min(backoff_s * (2**attempt), _MAX_BACKOFF_S))
                         submit(job, attempt + 1)
                     else:
-                        committed(job, result, time.perf_counter() - started)
+                        committed(job, result, wall, attempt, str(worker_pid))
         except KeyboardInterrupt:
             # Everything already committed stays committed; drop the rest.
             terminate_pool(executor)
@@ -364,9 +423,11 @@ def _run_parallel(
             return
         terminate_pool(executor)
         incidents += 1
+        pool.POOL_STATS["respawns"] += 1
         remaining = requeue + [
             (job, attempt) for job, attempt, _started in inflight.values()
         ]
+        stats.requeued += len(remaining)
         logger.warning(
             "worker pool incident (%s); respawning pool for %d unfinished jobs",
             broken or "submit failure",

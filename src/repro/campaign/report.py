@@ -154,6 +154,7 @@ def campaign_report(
         f"seeds {list(spec.seeds)})",
         "",
     ]
+    lines += _manifest_lines(spec, store)
     for cores in sorted(tables):
         table = tables[cores]
         paper = TABLE4.get(cores, {})
@@ -203,6 +204,38 @@ def campaign_report(
     return "\n".join(lines)
 
 
+def _manifest_lines(spec: CampaignSpec, store: ResultStore) -> list[str]:
+    """The ``## Run manifest`` section: stored manifest if the campaign
+    ran under schema v3+, else computed fresh.  Manifests carry no
+    timestamps, so this stays deterministic for the byte-identity tests
+    (same spec + same environment -> same bytes)."""
+    from .manifest import build_manifest
+
+    manifest = store.manifest(spec.fingerprint())
+    source = "stored"
+    if manifest is None:
+        manifest = build_manifest(spec)
+        source = "computed"
+    lines = ["## Run manifest", ""]
+    for field in (
+        "manifest_version",
+        "fingerprint",
+        "schema_version",
+        "backend",
+        "instructions",
+        "seeds",
+        "num_cores",
+        "variants",
+        "jobs_total",
+    ):
+        lines.append(f"- {field}: {manifest.get(field)}")
+    env = manifest.get("env") or {}
+    for knob in sorted(env):
+        lines.append(f"- env {knob}: {env[knob]}")
+    lines += [f"- source: {source}", ""]
+    return lines
+
+
 def export_rows(spec: CampaignSpec, store: ResultStore) -> list[dict[str, Any]]:
     """One dict per completed job, in grid order, with headline metrics."""
     grid = spec.expand()
@@ -234,10 +267,20 @@ def export_rows(spec: CampaignSpec, store: ResultStore) -> list[dict[str, Any]]:
 
 
 def export_text(spec: CampaignSpec, store: ResultStore, fmt: str = "csv") -> str:
-    """Per-job export as CSV (default) or JSON lines."""
+    """Per-job export as CSV (default) or JSON lines.
+
+    The JSON form leads with one ``{"manifest": ...}`` object (run
+    provenance; see :mod:`repro.campaign.manifest`) followed by one
+    object per completed job.  The CSV form is rows only — its header
+    and shape are frozen for downstream tooling.
+    """
     rows = export_rows(spec, store)
     if fmt == "json":
-        return "\n".join(json.dumps(row, sort_keys=True) for row in rows) + "\n"
+        from .manifest import build_manifest
+
+        manifest = store.manifest(spec.fingerprint()) or build_manifest(spec)
+        head = json.dumps({"manifest": manifest}, sort_keys=True)
+        return "\n".join([head] + [json.dumps(row, sort_keys=True) for row in rows]) + "\n"
     if fmt != "csv":
         raise ValueError(f"unknown export format {fmt!r}; use csv or json")
     buf = io.StringIO()

@@ -44,6 +44,9 @@ def result_to_dict(result: WorkloadResult) -> dict[str, Any]:
         "sim_cycles": result.sim_cycles,
         "extra": dict(result.extra),
         "telemetry": telemetry,
+        "events_processed": result.events_processed,
+        "events_elided": result.events_elided,
+        "min_rebuilds": result.min_rebuilds,
     }
 
 
@@ -75,6 +78,11 @@ def result_from_dict(data: dict[str, Any]) -> WorkloadResult:
         sim_cycles=data["sim_cycles"],
         extra=dict(data.get("extra", {})),
         telemetry=telemetry,
+        # Event counters arrived with schema v3; rows stored by older
+        # code simply predate the accounting (0 = "not recorded").
+        events_processed=data.get("events_processed", 0),
+        events_elided=data.get("events_elided", 0),
+        min_rebuilds=data.get("min_rebuilds", 0),
     )
 
 

@@ -41,12 +41,16 @@ from .spec import CampaignJob, CampaignSpec
 if TYPE_CHECKING:  # pragma: no cover
     from ..metrics.summary import WorkloadResult
 
-__all__ = ["ResultStore", "SCHEMA_VERSION", "default_db_path"]
+__all__ = ["ResultStore", "SCHEMA_VERSION", "STORE_STATS", "default_db_path"]
 # (results_for/failures_for are the grid-faithful, cross-campaign queries.)
 
 logger = logging.getLogger(__name__)
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
+
+# Operational counters of this process's store traffic, folded into the
+# metrics plane by :func:`repro.obs.metrics.collect_process_metrics`.
+STORE_STATS = {"commit_retries": 0}
 
 # Transient-commit retry policy: SQLite raises OperationalError for lock
 # contention ("database is locked") — and chaos injection mimics exactly
@@ -87,6 +91,26 @@ _MIGRATIONS: dict[int, Sequence[str]] = {
     # v2: record per-job simulation wall time (populated by the
     # orchestrator; NULL for rows recorded by older code).
     2: ("ALTER TABLE jobs ADD COLUMN wall_time_s REAL",),
+    # v3: the observability plane.  ``progress`` holds one row per job
+    # *attempt* (worker id, wall time, throughput, the deterministic
+    # per-job metrics blob) feeding ``campaign watch``; campaigns gain
+    # the run manifest and the merged operational-metrics snapshot.
+    # Existing job/campaign rows are untouched (additive only).
+    3: (
+        """CREATE TABLE progress (
+            key         TEXT NOT NULL,
+            attempt     INTEGER NOT NULL,
+            worker      TEXT,
+            status      TEXT NOT NULL,
+            wall_time_s REAL,
+            events_per_sec REAL,
+            metrics_json TEXT,
+            updated_at  REAL,
+            PRIMARY KEY (key, attempt)
+        )""",
+        "ALTER TABLE campaigns ADD COLUMN manifest_json TEXT",
+        "ALTER TABLE campaigns ADD COLUMN metrics_json TEXT",
+    ),
 }
 
 
@@ -238,6 +262,7 @@ class ResultStore:
             except sqlite3.OperationalError as exc:
                 if attempt >= _COMMIT_RETRIES:
                     raise
+                STORE_STATS["commit_retries"] += 1
                 delay = min(
                     _COMMIT_BACKOFF_S * (2**attempt), _COMMIT_BACKOFF_MAX_S
                 )
@@ -268,6 +293,123 @@ class ResultStore:
             "attempts = attempts + 1 WHERE key = ?",
             (error[:2000], key),
         )
+
+    # -- progress (schema v3) ------------------------------------------------
+    def record_progress(
+        self,
+        key: str,
+        attempt: int,
+        worker: str | None,
+        status: str,
+        *,
+        wall_time_s: float | None = None,
+        events_per_sec: float | None = None,
+        metrics: dict | None = None,
+    ) -> None:
+        """Upsert one (job, attempt) heartbeat row for ``campaign watch``.
+
+        ``metrics`` is the deterministic per-job blob from
+        :func:`repro.obs.metrics.job_metrics`; wall time and throughput
+        are worker-measured and explicitly non-deterministic.
+        """
+        self._commit_with_retry(
+            key,
+            "INSERT INTO progress (key, attempt, worker, status, wall_time_s, "
+            " events_per_sec, metrics_json, updated_at) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?) "
+            "ON CONFLICT(key, attempt) DO UPDATE SET "
+            " worker = excluded.worker, status = excluded.status, "
+            " wall_time_s = excluded.wall_time_s, "
+            " events_per_sec = excluded.events_per_sec, "
+            " metrics_json = excluded.metrics_json, "
+            " updated_at = excluded.updated_at",
+            (
+                key,
+                attempt,
+                worker,
+                status,
+                wall_time_s,
+                events_per_sec,
+                json.dumps(metrics, sort_keys=True) if metrics is not None else None,
+                time.time(),
+            ),
+        )
+
+    def progress_for(self, keys: Iterable[str]) -> dict[str, dict]:
+        """Latest-attempt progress row per job key (absent keys missing)."""
+        out: dict[str, dict] = {}
+        keys = list(keys)
+        for start in range(0, len(keys), 500):
+            chunk = keys[start : start + 500]
+            marks = ",".join("?" * len(chunk))
+            for row in self._conn.execute(
+                f"SELECT * FROM progress WHERE key IN ({marks})", chunk
+            ):
+                prev = out.get(row["key"])
+                if prev is not None and prev["attempt"] >= row["attempt"]:
+                    continue
+                out[row["key"]] = {
+                    "key": row["key"],
+                    "attempt": int(row["attempt"]),
+                    "worker": row["worker"],
+                    "status": row["status"],
+                    "wall_time_s": row["wall_time_s"],
+                    "events_per_sec": row["events_per_sec"],
+                    "metrics": (
+                        json.loads(row["metrics_json"])
+                        if row["metrics_json"] is not None
+                        else None
+                    ),
+                    "updated_at": row["updated_at"],
+                }
+        return out
+
+    # -- manifests and campaign metrics (schema v3) ---------------------------
+    def set_manifest(self, fingerprint: str, manifest: dict) -> None:
+        """Pin the run manifest of a campaign (overwritten each run; the
+        manifest is a pure function of spec + environment, so a resume
+        under the same knobs writes the same bytes)."""
+        self._commit_with_retry(
+            fingerprint,
+            "UPDATE campaigns SET manifest_json = ? WHERE fingerprint = ?",
+            (json.dumps(manifest, sort_keys=True), fingerprint),
+        )
+
+    def manifest(self, fingerprint: str) -> dict | None:
+        row = self._conn.execute(
+            "SELECT manifest_json FROM campaigns WHERE fingerprint = ?",
+            (fingerprint,),
+        ).fetchone()
+        if row is None or row["manifest_json"] is None:
+            return None
+        return json.loads(row["manifest_json"])
+
+    def merge_metrics(self, fingerprint: str, snapshot: dict) -> None:
+        """Fold one process's operational-metrics snapshot into the
+        campaign's stored snapshot (counters sum, gauges max, histograms
+        bucket-wise — see :class:`repro.obs.metrics.MetricsRegistry`)."""
+        from ..obs.metrics import MetricsRegistry
+
+        existing = self.metrics(fingerprint)
+        registry = MetricsRegistry()
+        if existing is not None:
+            registry.merge(existing)
+        registry.merge(snapshot)
+        self._commit_with_retry(
+            fingerprint,
+            "UPDATE campaigns SET metrics_json = ? WHERE fingerprint = ?",
+            (json.dumps(registry.snapshot(), sort_keys=True), fingerprint),
+        )
+
+    def metrics(self, fingerprint: str) -> dict | None:
+        """The campaign's merged operational-metrics snapshot, if any."""
+        row = self._conn.execute(
+            "SELECT metrics_json FROM campaigns WHERE fingerprint = ?",
+            (fingerprint,),
+        ).fetchone()
+        if row is None or row["metrics_json"] is None:
+            return None
+        return json.loads(row["metrics_json"])
 
     # -- queries -------------------------------------------------------------
     def counts(self, fingerprint: str) -> dict[str, int]:

@@ -1,0 +1,157 @@
+"""Live campaign progress: the ``campaign watch`` view.
+
+Everything here is a pure query over the store (no simulation), built
+from two schema-v3 surfaces: the ``progress`` table's latest-attempt
+heartbeat rows (worker, wall time, throughput, per-job metrics blob) and
+the campaign row's merged operational-metrics snapshot.
+
+The merged snapshot (:func:`merged_metrics`) namespaces three kinds of
+truth into one registry:
+
+* ``sim.*`` — the deterministic per-job counters
+  (:func:`repro.obs.metrics.job_metrics`) summed over every completed
+  job.  Pure functions of the job grid, so a serial run and a
+  ``--jobs N`` run of the same campaign merge to **identical** ``sim.*``
+  values — that equality is CI-gated.
+* ``ops.*`` — the campaign's stored operational snapshot (cache traffic,
+  pool incidents, store retries, chaos injections): honest telemetry,
+  never compared across runs.
+* ``wall.*`` — worker-measured wall-time distributions.  Explicitly
+  excluded from any determinism comparison.
+
+The first two lines of :func:`watch_report` are stable (tests and CI
+grep them); rate/ETA lines appear only while jobs are pending and
+wall-clock data exists.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..obs.metrics import MetricsRegistry
+from .spec import CampaignSpec
+from .store import ResultStore
+
+__all__ = ["merged_metrics", "watch_counts", "watch_report"]
+
+# Completion-rate estimation window: the N most recent completions.
+_RATE_WINDOW = 10
+
+
+def watch_counts(spec: CampaignSpec, store: ResultStore) -> dict:
+    """Lifecycle counts plus latest-attempt progress rows for one campaign.
+
+    ``done``/``failed``/``pending`` come straight from the jobs table
+    (exactly what ``campaign status`` reports); ``retrying`` counts jobs
+    whose latest heartbeat is a retry and which have not yet resolved.
+    """
+    grid = spec.expand()
+    statuses = store.statuses(job.key for job in grid)
+    done = sum(1 for s in statuses.values() if s == "done")
+    failed = sum(1 for s in statuses.values() if s == "failed")
+    progress = store.progress_for(job.key for job in grid)
+    retrying = sum(
+        1
+        for job in grid
+        if statuses.get(job.key) not in ("done", "failed")
+        and (row := progress.get(job.key)) is not None
+        and row["status"] == "retrying"
+    )
+    return {
+        "total": len(grid),
+        "done": done,
+        "failed": failed,
+        "pending": len(grid) - done - failed,
+        "retrying": retrying,
+        "statuses": statuses,
+        "progress": progress,
+    }
+
+
+def _prefixed(snapshot: dict, prefix: str) -> dict:
+    """A snapshot with every metric name prefixed (for namespace merges)."""
+    return {
+        "counters": {
+            prefix + name: value
+            for name, value in snapshot.get("counters", {}).items()
+        },
+        "gauges": {
+            prefix + name: value
+            for name, value in snapshot.get("gauges", {}).items()
+        },
+        "histograms": {
+            prefix + name: data
+            for name, data in snapshot.get("histograms", {}).items()
+        },
+    }
+
+
+def merged_metrics(spec: CampaignSpec, store: ResultStore) -> MetricsRegistry:
+    """One registry holding the campaign's ``sim.*``/``ops.*``/``wall.*``
+    metrics (see the module docstring for what may be compared)."""
+    registry = MetricsRegistry()
+    counts = watch_counts(spec, store)
+    for row in counts["progress"].values():
+        if row["status"] != "done":
+            continue
+        blob = row["metrics"]
+        if blob:
+            for name, value in blob.items():
+                registry.counter(name).inc(value)
+        if row["wall_time_s"] is not None:
+            registry.histogram("wall.job_s").observe(row["wall_time_s"])
+    ops = store.metrics(spec.fingerprint())
+    if ops is not None:
+        registry.merge(_prefixed(ops, "ops."))
+    return registry
+
+
+def watch_report(
+    spec: CampaignSpec, store: ResultStore, *, now: float | None = None
+) -> str:
+    """One snapshot of campaign progress, rendered for a terminal."""
+    counts = watch_counts(spec, store)
+    lines = [
+        f"campaign {spec.name!r} (fingerprint {spec.fingerprint()[:12]})",
+        f"  jobs: {counts['done']}/{counts['total']} done, "
+        f"{counts['pending']} pending, {counts['failed']} failed, "
+        f"{counts['retrying']} retrying",
+    ]
+    # Rolling completion rate over the most recent heartbeat window.
+    done_times = sorted(
+        row["updated_at"]
+        for row in counts["progress"].values()
+        if row["status"] == "done" and row["updated_at"] is not None
+    )
+    if counts["pending"] and len(done_times) >= 2:
+        window = done_times[-_RATE_WINDOW:]
+        span = window[-1] - window[0]
+        if span > 0:
+            rate = (len(window) - 1) / span
+            eta = counts["pending"] / rate
+            age = (now if now is not None else time.time()) - window[-1]
+            lines.append(
+                f"  rate: {rate * 60:.1f} jobs/min, ETA ~{eta:.0f}s "
+                f"(last completion {age:.0f}s ago)"
+            )
+    grid = spec.expand()
+    statuses = counts["statuses"]
+    lines.append("  by variant:")
+    for variant in (v.label for v in spec.variants):
+        subset = [job for job in grid if job.variant == variant]
+        variant_done = sum(
+            1 for job in subset if statuses.get(job.key) == "done"
+        )
+        lines.append(f"    {variant}: {variant_done}/{len(subset)} done")
+    snapshot = merged_metrics(spec, store).snapshot()
+    if snapshot["counters"]:
+        lines.append("  metrics:")
+        for name, value in snapshot["counters"].items():
+            lines.append(f"    {name} = {value}")
+        wall = snapshot["histograms"].get("wall.job_s")
+        if wall is not None and wall["count"]:
+            lines.append(
+                f"    wall.job_s: n={wall['count']} "
+                f"sum={wall['sum']:.2f}s max={wall['max']:.2f}s"
+            )
+    return "\n".join(lines)

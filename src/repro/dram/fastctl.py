@@ -813,6 +813,7 @@ class FastMemoryController(MemoryController):
                 rb = row_best.get(row)
                 if rb is not None and rb[1] is request:
                     if kbucket:
+                        index.min_rebuilds += 1
                         m = min(kbucket)
                         row_best[row] = (m, bucket[kbucket.index(m)])
                     else:
@@ -1093,6 +1094,11 @@ class FastMemoryController(MemoryController):
         raise NotImplementedError(
             "fast controller fuses _try_issue into _wake_kid"
         )
+
+    def min_rebuilds(self) -> int:
+        """Total cached-minimum rebuilds across every bank's arbitration
+        kernel (see :class:`~repro.dram.fastsched.FastBankSched`)."""
+        return sum(index.min_rebuilds for index in self._kid_reads)
 
     def finalize_elision(self) -> None:
         """End-of-run elision reconciliation (called by ``System.run``).

@@ -87,6 +87,7 @@ class FastBankSched:
         "row_best",
         "best",
         "heap_epoch",
+        "min_rebuilds",
     )
 
     def __init__(self) -> None:
@@ -101,6 +102,10 @@ class FastBankSched:
         self.row_best: dict[int, tuple] = {}
         self.best: tuple | None = None
         self.heap_epoch = -1  # epoch the key arrays were built for
+        # How often a removal evicted a cached bucket minimum and forced
+        # an O(bucket) rebuild — the kernel's only non-O(1) removal path,
+        # surfaced on WorkloadResult for the observability plane.
+        self.min_rebuilds = 0
 
     # -- membership --------------------------------------------------------
     def add(self, request: MemoryRequest) -> None:
@@ -155,6 +160,7 @@ class FastBankSched:
             rb = self.row_best.get(row)
             if rb is not None and rb[1] is request:
                 if kbucket:
+                    self.min_rebuilds += 1
                     m = min(kbucket)
                     self.row_best[row] = (m, bucket[kbucket.index(m)])
                 else:  # stale: minima rebuilt by the next ensure()

@@ -44,9 +44,15 @@ from ..envknobs import EnvKnobError
 if TYPE_CHECKING:  # pragma: no cover
     from ..sim.diskcache import DiskCache
 
-__all__ = ["ChaosInjectedError", "ChaosPlan", "chaos_from_env"]
+__all__ = ["CHAOS_STATS", "ChaosInjectedError", "ChaosPlan", "chaos_from_env"]
 
 logger = logging.getLogger(__name__)
+
+# Injections actually fired by this process, by fault kind.  Folded into
+# the metrics plane by :func:`repro.obs.metrics.collect_process_metrics`
+# (workers that die to an injection take their count with them — the
+# surviving processes' tallies are the observable signal).
+CHAOS_STATS: dict[str, int] = {}
 
 _RATE_FIELDS = ("kill", "hang", "corrupt", "sqlite")
 
@@ -173,6 +179,7 @@ class ChaosPlan:
             return False
         with os.fdopen(fd, "w") as fh:
             fh.write(f"{kind} {key}\n")
+        CHAOS_STATS[kind] = CHAOS_STATS.get(kind, 0) + 1
         return True
 
     # -- fault actions -----------------------------------------------------

@@ -75,6 +75,16 @@ class WorkloadResult:
     # Optional telemetry digest (latency quantiles, periodic samples, bus
     # counters) recorded when the run had observability enabled.
     telemetry: "TelemetrySummary | None" = None
+    # Simulator event accounting for the shared run.  ``events_processed``
+    # is what the event loop dispatched; ``events_elided`` counts the
+    # wakes the fast backend proved no-ops and skipped (always 0 on the
+    # python backend); ``min_rebuilds`` counts cached-minimum rebuilds in
+    # the fast arbitration kernel (a removal evicted a bucket minimum).
+    # ``events_logical`` (processed + elided) is backend-independent:
+    # it equals the python backend's processed count for the same job.
+    events_processed: int = 0
+    events_elided: int = 0
+    min_rebuilds: int = 0
 
     def slowdowns(self) -> dict[int, float]:
         return {t.thread_id: t.memory_slowdown for t in self.threads}
@@ -108,6 +118,11 @@ class WorkloadResult:
         return max((t.worst_latency for t in self.threads), default=0)
 
     @property
+    def events_logical(self) -> int:
+        """Backend-independent event count (processed + elided wakes)."""
+        return self.events_processed + self.events_elided
+
+    @property
     def total_row_hits(self) -> int:
         return sum(t.row_hits for t in self.threads)
 
@@ -129,6 +144,13 @@ class WorkloadResult:
             f"wspeedup={self.weighted_speedup:.2f}  "
             f"hspeedup={self.hmean_speedup:.3f}",
         ]
+        if self.events_logical:
+            lines.append(
+                f"  events={self.events_logical} "
+                f"(processed {self.events_processed}, "
+                f"elided {self.events_elided}, "
+                f"min-rebuilds {self.min_rebuilds})"
+            )
         for t in self.threads:
             lines.append(
                 f"  t{t.thread_id} {t.benchmark:<12} slowdown={t.memory_slowdown:5.2f} "

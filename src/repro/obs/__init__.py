@@ -17,7 +17,13 @@ the simulator.  It has three parts:
   occupancy, per-thread outstanding requests, instantaneous bank-level
   parallelism, windowed row-hit rate and batch size, plus log-bucketed
   per-thread latency histograms (p50/p95/p99/max) surfaced in
-  :class:`~repro.metrics.summary.WorkloadResult`.
+  :class:`~repro.metrics.summary.WorkloadResult`;
+* a **metrics registry** (:mod:`repro.obs.metrics`): probe-or-None
+  counters/gauges/histograms over the operational layers (pool, cache,
+  store, guard, chaos), picklable and order-independently mergeable
+  across workers, snapshotting to JSON and Prometheus text exposition
+  format (:mod:`repro.obs.export`) — the substrate behind
+  ``campaign watch``.
 
 Wiring happens in :class:`~repro.sim.system.System` (accepts a tracer and
 a telemetry recorder), :class:`~repro.sim.runner.ExperimentRunner` /
@@ -28,6 +34,19 @@ environment variables).
 """
 
 from .config import TraceConfig
+from .export import to_json, to_prometheus, write_snapshot
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    collect_process_metrics,
+    job_metrics,
+    merge_job_metrics,
+    metrics_enabled,
+    metrics_from_env,
+    reset_metrics,
+)
 from .perfetto import chrome_trace, write_chrome_trace
 from .sampler import LatencyHistogram, Telemetry, TelemetrySummary
 from .trace import (
@@ -41,8 +60,12 @@ from .trace import (
 
 __all__ = [
     "CATEGORIES",
+    "Counter",
+    "Gauge",
+    "Histogram",
     "JsonlSink",
     "LatencyHistogram",
+    "MetricsRegistry",
     "Probe",
     "RingBufferSink",
     "Telemetry",
@@ -50,6 +73,15 @@ __all__ = [
     "TraceConfig",
     "Tracer",
     "chrome_trace",
+    "collect_process_metrics",
+    "job_metrics",
+    "merge_job_metrics",
+    "metrics_enabled",
+    "metrics_from_env",
     "read_jsonl",
+    "reset_metrics",
+    "to_json",
+    "to_prometheus",
     "write_chrome_trace",
+    "write_snapshot",
 ]

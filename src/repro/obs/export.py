@@ -1,0 +1,84 @@
+"""Metrics snapshot exporters: canonical JSON and Prometheus text.
+
+Both renderers are pure functions of a :meth:`MetricsRegistry.snapshot`
+dict, so the same store contents always produce byte-identical output —
+the property every determinism gate in this repo leans on.  The JSON
+form is the interchange format (``campaign watch --metrics-json``); the
+Prometheus text exposition format feeds scrapers and the CI artifact
+uploads.
+
+Prometheus naming: metric names are sanitized (``.`` and ``-`` become
+``_``) and prefixed ``repro_``; counters gain the conventional
+``_total`` suffix, histograms render the ``_bucket{le=...}`` /
+``_sum`` / ``_count`` series with cumulative buckets and a ``+Inf``
+terminal, exactly as scrapers expect.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Any, Mapping
+
+__all__ = ["to_json", "to_prometheus", "write_snapshot"]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prom_name(name: str) -> str:
+    return "repro_" + _NAME_RE.sub("_", name)
+
+
+def _prom_value(value: float) -> str:
+    if isinstance(value, float) and value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def to_json(snapshot: Mapping[str, Any], indent: int | None = None) -> str:
+    """Canonical JSON (sorted keys, trailing newline)."""
+    return json.dumps(snapshot, sort_keys=True, indent=indent) + "\n"
+
+
+def to_prometheus(snapshot: Mapping[str, Any]) -> str:
+    """Prometheus text exposition format (version 0.0.4)."""
+    lines: list[str] = []
+    for name in sorted(snapshot.get("counters", {})):
+        prom = _prom_name(name) + "_total"
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {_prom_value(snapshot['counters'][name])}")
+    for name in sorted(snapshot.get("gauges", {})):
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {_prom_value(snapshot['gauges'][name])}")
+    for name in sorted(snapshot.get("histograms", {})):
+        data = snapshot["histograms"][name]
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} histogram")
+        cumulative = 0
+        for exp in sorted(data["buckets"], key=int):
+            cumulative += data["buckets"][exp]
+            lines.append(
+                f'{prom}_bucket{{le="{_prom_value(float(2 ** int(exp)))}"}} '
+                f"{cumulative}"
+            )
+        lines.append(f'{prom}_bucket{{le="+Inf"}} {data["count"]}')
+        lines.append(f"{prom}_sum {_prom_value(data['sum'])}")
+        lines.append(f"{prom}_count {data['count']}")
+    return "\n".join(lines) + "\n"
+
+
+def write_snapshot(path: str | Path, snapshot: Mapping[str, Any]) -> Path:
+    """Write ``snapshot`` to ``path``, format chosen by suffix.
+
+    ``.prom`` / ``.txt`` render Prometheus text; anything else (the
+    ``.json`` convention) renders indented canonical JSON.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if path.suffix in (".prom", ".txt"):
+        path.write_text(to_prometheus(snapshot))
+    else:
+        path.write_text(to_json(snapshot, indent=2))
+    return path

@@ -54,7 +54,7 @@ SIM_FINGERPRINT = "parbs-sim-v1"
 # Aggregate counters across every DiskCache instance in this process —
 # the observable "did the suite hit the cache?" signal.  ``quarantined``
 # counts corrupt/truncated entries renamed aside and recomputed.
-GLOBAL_STATS = {"hits": 0, "misses": 0, "writes": 0, "quarantined": 0}
+GLOBAL_STATS = {"hits": 0, "misses": 0, "writes": 0, "quarantined": 0, "pruned": 0}
 
 
 def default_cache_dir() -> Path:
@@ -250,6 +250,7 @@ class DiskCache:
             freed += size
         if removed:
             self.pruned += removed
+            GLOBAL_STATS["pruned"] += removed
             logger.info(
                 "cache pruned: %d entries, %.1f MB freed", removed, freed / 1e6
             )

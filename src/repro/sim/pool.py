@@ -27,6 +27,8 @@ the serial path byte-for-byte unchanged.
 from __future__ import annotations
 
 import logging
+import os
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -45,10 +47,12 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = [
     "JOB_STATS",
     "POOL_INCIDENT_LIMIT",
+    "POOL_STATS",
     "SimJob",
     "default_job_timeout",
     "default_jobs",
     "run_job",
+    "run_job_timed",
     "run_jobs",
     "terminate_pool",
 ]
@@ -59,6 +63,12 @@ logger = logging.getLogger(__name__)
 # pool workers each count their own).  The campaign resume tests read this
 # to prove that a resumed run re-simulates only the missing jobs.
 JOB_STATS = {"executed": 0}
+
+# Operational counters of this process's pool management (submitting side:
+# respawns after incidents, no-progress timeouts, falls back to serial).
+# Folded into the metrics plane by
+# :func:`repro.obs.metrics.collect_process_metrics`.
+POOL_STATS = {"respawns": 0, "serial_fallbacks": 0, "timeouts": 0}
 
 # After this many pool incidents (worker deaths, no-progress timeouts) the
 # engine stops respawning pools and runs the survivors serially.
@@ -172,6 +182,18 @@ def run_job(job: SimJob) -> "WorkloadResult":
     )
 
 
+def run_job_timed(job: SimJob) -> tuple["WorkloadResult", float, int]:
+    """:func:`run_job` plus worker-measured wall time and worker pid.
+
+    The picklable triple the campaign orchestrator submits so progress
+    rows carry timings measured where the simulation actually ran (the
+    parent's submit-to-result window includes queueing and pickling).
+    """
+    start = time.perf_counter()
+    result = run_job(job)
+    return result, time.perf_counter() - start, os.getpid()
+
+
 def run_jobs(
     jobs: Sequence[SimJob],
     workers: int | None = None,
@@ -242,8 +264,11 @@ def _run_pool(
             _pool_pass(jobs, remaining, workers, timeout_s, results)
         except _PoolIncident as incident:
             incidents += 1
+            if "presumed hung" in str(incident):
+                POOL_STATS["timeouts"] += 1
             remaining = [i for i in remaining if i not in results]
             if incidents >= POOL_INCIDENT_LIMIT:
+                POOL_STATS["serial_fallbacks"] += 1
                 logger.warning(
                     "worker pool failed %d times (%s); running %d unfinished "
                     "jobs serially",
@@ -260,6 +285,7 @@ def _run_pool(
                         results[index] = run_job(jobs[index])
                 remaining = []
             else:
+                POOL_STATS["respawns"] += 1
                 logger.warning(
                     "worker pool incident (%s); respawning pool for %d "
                     "unfinished jobs",

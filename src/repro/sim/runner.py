@@ -424,6 +424,9 @@ class ExperimentRunner:
             threads=tuple(threads),
             sim_cycles=sim_cycles,
             telemetry=telemetry.summary() if telemetry is not None else None,
+            events_processed=system.events_processed,
+            events_elided=system.events_elided,
+            min_rebuilds=system.min_rebuilds,
         )
 
     def _verify_shadow_run(

@@ -164,6 +164,9 @@ class System:
         self.events_processed = 0
         self.events_elided = 0
         self.events_logical = 0
+        # Cached-minimum rebuilds in the fast arbitration kernel (0 on
+        # the python backend, which has no such cache).
+        self.min_rebuilds = 0
         self.cores: list[Core] = []
         self.hierarchies: list[CacheHierarchy] = []
         core_probe = tracer.probe("core") if tracer is not None else None
@@ -304,6 +307,8 @@ class System:
             finalize_elision()
         self.events_elided = getattr(self.controller, "events_elided", 0)
         self.events_logical = events + self.events_elided
+        min_rebuilds = getattr(self.controller, "min_rebuilds", None)
+        self.min_rebuilds = min_rebuilds() if min_rebuilds is not None else 0
         if self._sync_state is not None:
             self._sync_state()
         if self.telemetry is not None:

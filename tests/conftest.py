@@ -39,6 +39,9 @@ def _isolated_disk_cache(tmp_path_factory):
             # An inherited backend would silently re-run the whole suite
             # on the fast (or verify) path instead of what each test pins.
             "REPRO_BACKEND",
+            # An inherited REPRO_METRICS=0 would disable every registry
+            # site the metrics tests assert on.
+            "REPRO_METRICS",
         )
     }
     yield

@@ -1,0 +1,34 @@
+-- Frozen schema-v2 campaign database, exactly as written by code at
+-- SCHEMA_VERSION = 2 (the v1 base DDL plus the v2 wall_time_s ALTER).
+-- tests/test_store_migration.py builds a database from this script,
+-- inserts rows the way v2-era code would, then opens it with the
+-- current ResultStore and asserts the v3 migration upgrades in place
+-- without touching a byte of existing data.  Do not edit to match new
+-- schema versions -- being stale is this file's entire job.
+CREATE TABLE schema_version (version INTEGER NOT NULL);
+INSERT INTO schema_version (version) VALUES (2);
+CREATE TABLE campaigns (
+    fingerprint TEXT PRIMARY KEY,
+    name        TEXT NOT NULL,
+    spec_json   TEXT NOT NULL,
+    instructions INTEGER NOT NULL
+);
+CREATE TABLE jobs (
+    key         TEXT PRIMARY KEY,
+    campaign    TEXT NOT NULL REFERENCES campaigns(fingerprint),
+    num_cores   INTEGER NOT NULL,
+    mix_index   INTEGER NOT NULL,
+    variant     TEXT NOT NULL,
+    scheduler   TEXT NOT NULL,
+    workload_json TEXT NOT NULL,
+    kwargs_json TEXT NOT NULL,
+    seed        INTEGER NOT NULL,
+    instructions INTEGER NOT NULL,
+    status      TEXT NOT NULL DEFAULT 'pending'
+                CHECK (status IN ('pending', 'done', 'failed')),
+    attempts    INTEGER NOT NULL DEFAULT 0,
+    error       TEXT,
+    result_json TEXT
+);
+CREATE INDEX jobs_by_campaign ON jobs (campaign, status);
+ALTER TABLE jobs ADD COLUMN wall_time_s REAL;

@@ -86,9 +86,10 @@ def test_traced_experiment_writes_files(capsys, monkeypatch, tmp_path):
     finally:
         monkeypatch.delenv("REPRO_TRACE", raising=False)
     assert list(trace_dir.glob("*.jsonl")), "experiment left trace files"
-    # The cache report line lands on stderr, not in experiment output.
+    # Cache statistics route through the metrics registry now — they must
+    # not interleave with experiment output on either stream.
     captured = capsys.readouterr()
-    assert "[cache]" in captured.err
+    assert "[cache]" not in captured.err
     assert "[cache]" not in captured.out
 
 

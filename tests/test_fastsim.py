@@ -38,6 +38,7 @@ from repro.sim.verify import (
     BACKENDS,
     BackendMismatch,
     backend_from_env,
+    compare_results,
     compare_systems,
 )
 
@@ -188,7 +189,38 @@ def test_verify_mode_runs_and_results_match_python(tmp_path):
         )
         results[backend] = runner.run_workload(list(WORKLOADS[4]), "PAR-BS")
     assert results["python"] == results["verify"]
-    assert results["python"] == results["fast"]
+    # The raw event split is backend-variant by contract (the fast path
+    # elides wakes); everything else — including the *logical* event
+    # count — must agree exactly.
+    compare_results(results["python"], results["fast"])
+    assert results["python"].events_logical == results["fast"].events_logical
+
+
+def test_workload_result_event_counters_pin_python_processed_count(tmp_path):
+    """WorkloadResult surfaces the event accounting: the python backend
+    reports processed == logical with nothing elided and no kernel
+    rebuilds, and the fast backend's processed + elided lands exactly on
+    the python backend's processed count."""
+    results = {}
+    for backend in ("python", "fast"):
+        runner = ExperimentRunner(
+            baseline_system(4),
+            instructions=INSTRUCTIONS,
+            seed=0,
+            cache_dir=tmp_path / backend,
+            backend=backend,
+        )
+        results[backend] = runner.run_workload(list(WORKLOADS[4]), "FR-FCFS")
+    py, fast = results["python"], results["fast"]
+    assert py.events_processed > 0
+    assert py.events_elided == 0
+    assert py.min_rebuilds == 0
+    assert py.events_logical == py.events_processed
+    assert fast.events_elided > 0
+    assert fast.events_processed + fast.events_elided == py.events_processed
+    assert fast.events_logical == py.events_logical
+    assert fast.min_rebuilds >= 0
+    assert "min-rebuilds" in fast.describe()
 
 
 def test_verify_mode_requires_factory_name():

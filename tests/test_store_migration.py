@@ -1,0 +1,165 @@
+"""Schema v2 -> v3 migration tests against a frozen v2 fixture.
+
+A database built from ``tests/fixtures/schema_v2.sql`` (the DDL exactly
+as v2-era code wrote it) is populated the way an old client would, then
+opened with the current :class:`ResultStore`.  The migration must
+upgrade in place, leave every pre-existing row byte-identical, and keep
+``campaign status`` and resume working — resuming simulates only the
+jobs that were missing, never the rows recorded before the upgrade.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from pathlib import Path
+
+import pytest
+
+from repro.campaign.orchestrator import run_campaign
+from repro.campaign.report import status_report
+from repro.campaign.serde import result_to_json
+from repro.campaign.spec import CampaignSpec, Variant
+from repro.campaign.store import SCHEMA_VERSION, ResultStore
+from repro.config import baseline_system
+from repro.sim import pool
+from repro.sim.runner import ExperimentRunner
+
+FIXTURE = Path(__file__).parent / "fixtures" / "schema_v2.sql"
+
+
+def _spec() -> CampaignSpec:
+    return CampaignSpec(
+        name="migrate",
+        variants=(Variant("FCFS", "FCFS"), Variant("FR-FCFS", "FR-FCFS")),
+        mix_count=2,
+        instructions=20_000,
+    )
+
+
+def _v2_result_json(job) -> str:
+    """result_json as a v2-era client would have written it (no event
+    counter keys -- those arrived with schema v3)."""
+    runner = ExperimentRunner(
+        baseline_system(job.num_cores),
+        instructions=job.instructions,
+        seed=job.seed,
+        cache_dir=None,
+    )
+    result = runner.run_workload(
+        list(job.workload), job.scheduler, **job.kwargs_dict()
+    )
+    data = json.loads(result_to_json(result))
+    for key in ("events_processed", "events_elided", "min_rebuilds"):
+        data.pop(key, None)
+    return json.dumps(data, sort_keys=True)
+
+
+@pytest.fixture
+def v2_db(tmp_path):
+    """A v2 database holding one campaign: one job done, three pending."""
+    spec = _spec()
+    grid = spec.expand()
+    path = tmp_path / "v2.sqlite"
+    conn = sqlite3.connect(path)
+    conn.executescript(FIXTURE.read_text())
+    conn.execute(
+        "INSERT INTO campaigns (fingerprint, name, spec_json, instructions) "
+        "VALUES (?, ?, ?, ?)",
+        (
+            spec.fingerprint(),
+            spec.name,
+            json.dumps(spec.to_dict(), sort_keys=True),
+            spec.resolved_instructions(),
+        ),
+    )
+    for job in grid:
+        conn.execute(
+            "INSERT INTO jobs (key, campaign, num_cores, mix_index, variant, "
+            " scheduler, workload_json, kwargs_json, seed, instructions) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                job.key,
+                spec.fingerprint(),
+                job.num_cores,
+                job.mix_index,
+                job.variant,
+                job.scheduler,
+                json.dumps(list(job.workload)),
+                json.dumps(job.kwargs_dict(), sort_keys=True),
+                job.seed,
+                job.instructions,
+            ),
+        )
+    done_job = grid[0]
+    conn.execute(
+        "UPDATE jobs SET status = 'done', attempts = 1, wall_time_s = 1.25, "
+        "result_json = ? WHERE key = ?",
+        (_v2_result_json(done_job), done_job.key),
+    )
+    conn.commit()
+    conn.close()
+    return path
+
+
+def _dump_jobs(path) -> list[tuple]:
+    """Every v2-era column of every job row, in key order."""
+    conn = sqlite3.connect(path)
+    try:
+        return conn.execute(
+            "SELECT key, campaign, num_cores, mix_index, variant, scheduler, "
+            " workload_json, kwargs_json, seed, instructions, status, "
+            " attempts, error, result_json, wall_time_s "
+            "FROM jobs ORDER BY key"
+        ).fetchall()
+    finally:
+        conn.close()
+
+
+def test_migration_upgrades_in_place_preserving_rows(v2_db):
+    before = _dump_jobs(v2_db)
+    with ResultStore(v2_db) as store:
+        assert store.schema_version() == SCHEMA_VERSION == 3
+        # v3 surfaces exist and start empty for a migrated database.
+        assert store.manifest(_spec().fingerprint()) is None
+        assert store.metrics(_spec().fingerprint()) is None
+        assert store.progress_for(j.key for j in _spec().expand()) == {}
+    assert _dump_jobs(v2_db) == before  # old rows byte-identical
+
+
+def test_status_works_on_migrated_database(v2_db):
+    spec = _spec()
+    with ResultStore(v2_db) as store:
+        report = status_report(spec, store)
+        assert "1/4 done, 3 pending, 0 failed" in report
+
+
+def test_resume_simulates_only_missing_jobs(v2_db):
+    spec = _spec()
+    before = _dump_jobs(v2_db)
+    done_key = spec.expand()[0].key
+    with ResultStore(v2_db) as store:
+        pool.JOB_STATS["executed"] = 0
+        stats = run_campaign(spec, store, jobs=1)
+        assert (stats.ran, stats.skipped, stats.failed) == (3, 1, 0)
+        assert pool.JOB_STATS["executed"] == 3  # the v2 row was not re-run
+        assert store.counts(spec.fingerprint())["done"] == 4
+        # The run pinned a manifest and progress rows for what it ran.
+        assert store.manifest(spec.fingerprint()) is not None
+        progress = store.progress_for(j.key for j in spec.expand())
+        assert set(progress) == {j.key for j in spec.expand()} - {done_key}
+    # The pre-migration done row survived the resume byte-for-byte.
+    done_before = [row for row in before if row[0] == done_key]
+    done_after = [row for row in _dump_jobs(v2_db) if row[0] == done_key]
+    assert done_after == done_before
+
+
+def test_newer_schema_is_refused(tmp_path):
+    path = tmp_path / "future.sqlite"
+    conn = sqlite3.connect(path)
+    conn.execute("CREATE TABLE schema_version (version INTEGER NOT NULL)")
+    conn.execute("INSERT INTO schema_version (version) VALUES (99)")
+    conn.commit()
+    conn.close()
+    with pytest.raises(RuntimeError, match="newer than this code"):
+        ResultStore(path)
