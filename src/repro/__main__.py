@@ -38,6 +38,7 @@ from .experiments.characterization import run_characterization
 from .experiments.priorities import run_opportunistic, run_weighted_lbm
 from .experiments.summary import run_table4
 from .sim.runner import ExperimentRunner
+from .workloads.mixes import UnknownMixError
 
 _CASE_ALIASES = {
     "fig5": "fig5_case_study_1",
@@ -63,6 +64,7 @@ _EXPERIMENTS = """Available experiments (paper artifact -> command):
 
 Infrastructure:
   Campaigns  python -m repro campaign run|status|resume|watch|report|export SPEC
+  Traces     python -m repro trace info|decode|gen|run
   Cache      python -m repro cache stats|prune|clear"""
 
 
@@ -249,6 +251,60 @@ def _build_parser() -> argparse.ArgumentParser:
     exportp.add_argument("--format", choices=("csv", "json"), default="csv")
     exportp.add_argument("--out", default=None, help="write to file instead of stdout")
 
+    trace = sub.add_parser(
+        "trace", help="trace files: inspect, decode, generate samples, run"
+    )
+    tsub = trace.add_subparsers(dest="action", required=True)
+    infop = tsub.add_parser(
+        "info", help="format, record counts and content hash per file"
+    )
+    infop.add_argument("files", nargs="+", metavar="FILE")
+    decodep = tsub.add_parser(
+        "decode", help="print decoded DRAM coordinates for the first records"
+    )
+    decodep.add_argument("file", metavar="FILE")
+    decodep.add_argument(
+        "--decoder",
+        default="dramsim2",
+        help="preset name or 'field=bits,...' layout spec (default: dramsim2)",
+    )
+    decodep.add_argument(
+        "--limit", type=int, default=16, help="records to print (default: 16)"
+    )
+    genp = tsub.add_parser("gen", help="generate sample-library trace files")
+    genp.add_argument(
+        "names", nargs="*", metavar="NAME", help="sample names (default: all committed)"
+    )
+    genp.add_argument(
+        "--all", action="store_true", help="include non-committed samples"
+    )
+    genp.add_argument(
+        "--force", action="store_true", help="regenerate even when present"
+    )
+    tracerun = tsub.add_parser("run", help="simulate a traced workload mix")
+    tracerun.add_argument(
+        "threads",
+        nargs="*",
+        metavar="THREAD",
+        help="workload entries: benchmark names or trace:NAME",
+    )
+    tracerun.add_argument(
+        "--mix", default=None, metavar="NAME", help="registered mix name (e.g. tmix1)"
+    )
+    tracerun.add_argument("--scheduler", default="PAR-BS")
+    tracerun.add_argument(
+        "--trace-file",
+        action="append",
+        default=[],
+        metavar="ALIAS=PATH",
+        help="bind a trace alias to a file (repeatable)",
+    )
+    tracerun.add_argument(
+        "--decoder",
+        default="dramsim2",
+        help="address layout for all trace files (preset or 'field=bits,...')",
+    )
+
     cache = sub.add_parser("cache", help="simulation disk-cache maintenance")
     cachesub = cache.add_subparsers(dest="action", required=True)
     cachesub.add_parser("stats", help="entry counts and sizes per kind")
@@ -302,7 +358,9 @@ def main(argv: list[str] | None = None) -> int:
 
     try:
         status = _dispatch(args, instructions)
-    except EnvKnobError as exc:
+    except (EnvKnobError, UnknownMixError) as exc:
+        # Configuration mistakes (bad knob value, mix-name typo): the
+        # message already says what was wrong and what is valid.
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except (InvariantViolation, SimulationStalled) as exc:
@@ -365,6 +423,8 @@ def _dispatch(args: argparse.Namespace, instructions: int | None) -> int:
         return 0
     if args.command == "campaign":
         return _dispatch_campaign(args, instructions)
+    if args.command == "trace":
+        return _dispatch_trace(args, instructions)
     if args.command == "cache":
         return _dispatch_cache(args)
     return 1  # pragma: no cover
@@ -495,6 +555,113 @@ def _campaign_watch(spec, args: argparse.Namespace) -> int:
             return 0
         _time.sleep(max(0.1, args.interval))
         print()
+
+
+def _parse_trace_file_args(entries: list[str]) -> dict[str, str]:
+    """``--trace-file ALIAS=PATH`` flags as an alias -> path dict."""
+    files: dict[str, str] = {}
+    for entry in entries:
+        alias, sep, path = entry.partition("=")
+        if not sep or not alias or not path:
+            raise ValueError(
+                f"--trace-file expects ALIAS=PATH, got {entry!r}"
+            )
+        files[alias] = path
+    return files
+
+
+def _dispatch_trace(args: argparse.Namespace, instructions: int | None) -> int:
+    from .traces import (
+        SAMPLE_TRACES,
+        IngestStats,
+        ensure_sample_trace,
+        open_trace,
+        parse_decoder,
+        sample_trace_path,
+        trace_content_sha256,
+    )
+
+    if args.action == "info":
+        for path in args.files:
+            stats = IngestStats()
+            reads = writes = 0
+            for record in open_trace(path, stats=stats):
+                if record.is_write:
+                    writes += 1
+                else:
+                    reads += 1
+            print(
+                f"{path}: format={stats.format} lines={stats.lines_read} "
+                f"records={stats.records} (reads={reads} writes={writes}) "
+                f"skipped={stats.lines_skipped}"
+            )
+            print(f"  sha256={trace_content_sha256(path)}")
+        return 0
+    if args.action == "decode":
+        decoder = parse_decoder(args.decoder)
+        print(f"decoder: {decoder.spec()}")
+        shown = 0
+        for record in open_trace(args.file):
+            if shown >= args.limit:
+                print("  ...")
+                break
+            d = decoder.decode(record.address)
+            rw = "W" if record.is_write else "R"
+            print(
+                f"  {record.address:#012x} {rw} cycle={record.cycle} -> "
+                f"ch={d.channel} rank={d.rank} bank={d.bank} "
+                f"row={d.row} col={d.column}"
+            )
+            shown += 1
+        return 0
+    if args.action == "gen":
+        names = list(args.names)
+        if not names:
+            names = [
+                n for n, s in SAMPLE_TRACES.items() if s.committed or args.all
+            ]
+        for name in names:
+            if name not in SAMPLE_TRACES:
+                print(
+                    f"error: unknown sample trace {name!r} "
+                    f"(known: {', '.join(sorted(SAMPLE_TRACES))})",
+                    file=sys.stderr,
+                )
+                return 2
+            path = sample_trace_path(name)
+            if args.force and path.exists():
+                path.unlink()
+            path = ensure_sample_trace(name)
+            print(f"{name}: {path}")
+        return 0
+    if args.action == "run":
+        from .workloads.mixes import get_mix
+
+        if args.mix and args.threads:
+            print("error: pass --mix or THREAD arguments, not both", file=sys.stderr)
+            return 2
+        workload = get_mix(args.mix) if args.mix else list(args.threads)
+        if not workload:
+            print(
+                "error: nothing to run: pass --mix NAME or THREAD entries",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            trace_files = _parse_trace_file_args(args.trace_file)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        runner = ExperimentRunner(
+            baseline_system(len(workload)),
+            instructions=instructions,
+            trace_files=trace_files,
+            decoder=args.decoder,
+        )
+        result = runner.run_workload(workload, args.scheduler)
+        print(result.describe())
+        return 0
+    return 1  # pragma: no cover
 
 
 def _dispatch_cache(args: argparse.Namespace) -> int:

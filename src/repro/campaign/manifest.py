@@ -45,6 +45,7 @@ _ENV_KNOBS = (
     "REPRO_SAMPLE_INTERVAL",
     "REPRO_SCALE",
     "REPRO_TRACE",
+    "REPRO_TRACE_DIR",
     "REPRO_TRACE_EVENTS",
     "REPRO_TRACE_PERFETTO",
     "REPRO_WORKLOADS",
@@ -61,7 +62,7 @@ def build_manifest(
         backend = backend_from_env()
     else:  # tests pass a mapping; mirror the knob's default
         backend = (env.get("REPRO_BACKEND") or "python").strip().lower()
-    return {
+    manifest = {
         "manifest_version": MANIFEST_VERSION,
         "campaign": spec.name,
         "fingerprint": spec.fingerprint(),
@@ -74,3 +75,11 @@ def build_manifest(
         "jobs_total": len(grid),
         "env": {knob: env[knob] for knob in _ENV_KNOBS if knob in env},
     }
+    traced = spec.trace_hashes()
+    if traced:
+        # Content hashes, not paths: the manifest stays byte-identical when
+        # a trace file is moved or recompressed, and changes when its
+        # decompressed bytes do.
+        manifest["trace_files"] = dict(sorted(traced.items()))
+        manifest["decoder"] = spec.decoder
+    return manifest

@@ -79,6 +79,8 @@ def _sim_job(job: CampaignJob, trace: TraceConfig, cache_dir: str | None) -> Sim
         seed=job.seed,
         cache_dir=cache_dir,
         trace=trace,
+        trace_files=job.trace_files,
+        decoder=job.decoder,
     )
 
 
@@ -90,9 +92,9 @@ def _prewarm_baselines(to_run: list[CampaignJob], trace: TraceConfig) -> None:
     """
     from ..sim.runner import ExperimentRunner
 
-    runners: dict[tuple[int, int, int], ExperimentRunner] = {}
+    runners: dict[tuple, ExperimentRunner] = {}
     for job in to_run:
-        key = (job.num_cores, job.seed, job.instructions)
+        key = (job.num_cores, job.seed, job.instructions, job.trace_files, job.decoder)
         runner = runners.get(key)
         if runner is None:
             runner = runners[key] = ExperimentRunner(
@@ -100,6 +102,8 @@ def _prewarm_baselines(to_run: list[CampaignJob], trace: TraceConfig) -> None:
                 instructions=job.instructions,
                 seed=job.seed,
                 trace=TraceConfig(),  # baselines are never traced
+                trace_files=dict(job.trace_files),
+                decoder=job.decoder,
             )
         for benchmark in set(job.workload):
             runner.alone(benchmark)

@@ -229,6 +229,11 @@ def _manifest_lines(spec: CampaignSpec, store: ResultStore) -> list[str]:
         "jobs_total",
     ):
         lines.append(f"- {field}: {manifest.get(field)}")
+    traced = manifest.get("trace_files") or {}
+    if traced:
+        lines.append(f"- decoder: {manifest.get('decoder')}")
+        for alias in sorted(traced):
+            lines.append(f"- trace_files {alias}: {traced[alias]}")
     env = manifest.get("env") or {}
     for knob in sorted(env):
         lines.append(f"- env {knob}: {env[knob]}")

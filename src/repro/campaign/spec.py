@@ -25,12 +25,31 @@ Spec files are TOML (or JSON with the same shape)::
     mix_seed = 42
     seeds = [0]                          # simulation seed axis
     instructions = 50000
-    mixes = [["mcf", "libquantum", "omnetpp", "hmmer"]]  # explicit extras
+    mixes = [["mcf", "libquantum", "omnetpp", "hmmer"],  # explicit extras
+             "tmix1"]                    # or registered mix names
 
     [[variants]]                         # fully explicit variants
     label = "eslot"
     scheduler = "PAR-BS"
     kwargs = { batching = "eslot" }
+
+External trace files enter a campaign as ``trace:<name>`` workload
+entries — sample-library names, or aliases declared in a
+``[trace_files]`` table::
+
+    decoder = "dramsim2"                 # address bit-field layout
+    mixes = [["trace:myapp", "trace:stream-hi", "mcf", "libquantum"]]
+
+    [trace_files]
+    myapp = "traces/myapp.k6.gz"         # alias -> path (hash computed)
+    [trace_files.pinned]
+    path = "traces/pinned.mase.gz"       # explicit pin: load fails if the
+    sha256 = "3f0c..."                   # file's content drifted
+
+Job identity is *content-addressed*: the job key hashes each trace
+entry as ``trace:<sha256-of-decompressed-content>:<decoder>``, never as
+an alias or path — so renaming, moving or recompressing a trace file
+leaves stored results resumable, while any content change re-simulates.
 """
 
 from __future__ import annotations
@@ -48,9 +67,12 @@ from ..workloads.mixes import (
     CASE_STUDY_2,
     FIG8_SAMPLE_MIXES,
     SIXTEEN_CORE_MIXES,
+    get_mix,
     random_mixes,
 )
 from ..workloads.profiles import PROFILES
+
+_TRACE_PREFIX = "trace:"
 
 __all__ = [
     "CampaignJob",
@@ -112,6 +134,12 @@ class CampaignJob:
     kwargs: tuple[tuple[str, Any], ...]
     seed: int
     instructions: int
+    # External trace wiring carried to the worker: (alias, path) pairs
+    # for the spec's ``[trace_files]`` table and the decoder layout.
+    # ``key`` already pins the traces by content hash; these are the
+    # *locations* the worker reads the bytes from.
+    trace_files: tuple[tuple[str, str], ...] = ()
+    decoder: str = "dramsim2"
 
     def kwargs_dict(self) -> dict[str, Any]:
         return dict(self.kwargs)
@@ -168,6 +196,12 @@ class CampaignSpec:
     seeds: tuple[int, ...] = (0,)
     instructions: int | None = None  # None = default_instructions()
     description: str = ""
+    # External trace files: (alias, path, sha256) triples.  An empty
+    # sha256 is resolved from the file at spec-construction time; a
+    # provided one is *verified* against the file, so a spec pinning a
+    # hash fails at load when the bytes drifted.
+    trace_files: tuple[tuple[str, str, str], ...] = ()
+    decoder: str = "dramsim2"
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -191,11 +225,34 @@ class CampaignSpec:
             raise ValueError("mix_count must be >= 0")
         if self.instructions is not None and self.instructions < 1:
             raise ValueError("instructions must be positive")
+        object.__setattr__(
+            self, "trace_files", self._resolve_trace_files(self.trace_files)
+        )
         unknown = {
-            b for mix in self.mixes for b in mix if b not in PROFILES
+            b
+            for mix in self.mixes
+            for b in mix
+            if not b.startswith(_TRACE_PREFIX) and b not in PROFILES
         }
         if unknown:
             raise ValueError(f"unknown benchmarks in mixes: {sorted(unknown)}")
+        aliases = {alias for alias, _path, _sha in self.trace_files}
+        from ..traces.library import SAMPLE_TRACES
+
+        unknown_traces = {
+            b
+            for mix in self.mixes
+            for b in mix
+            if b.startswith(_TRACE_PREFIX)
+            and b[len(_TRACE_PREFIX):] not in aliases
+            and b[len(_TRACE_PREFIX):] not in SAMPLE_TRACES
+        }
+        if unknown_traces:
+            raise ValueError(
+                f"unknown traces in mixes: {sorted(unknown_traces)} "
+                f"(declare them in [trace_files] or use a sample trace: "
+                f"{', '.join(sorted(SAMPLE_TRACES))})"
+            )
         usable = {len(m) for m in self.mixes}
         cores = set(self.num_cores)
         has_generated = self.mix_count != 0 or self.include_sample_mixes or self.include_case_studies
@@ -204,6 +261,75 @@ class CampaignSpec:
                 "campaign has no mixes: mix_count=0 and no explicit mix "
                 f"matches num_cores={sorted(cores)}"
             )
+
+    # -- external traces -----------------------------------------------------
+    @staticmethod
+    def _resolve_trace_files(
+        entries: Iterable[tuple[str, str, str]],
+    ) -> tuple[tuple[str, str, str], ...]:
+        """Fill in (and verify) content hashes for the trace-file table."""
+        from ..traces.source import trace_content_sha256
+
+        resolved = []
+        for alias, path, sha256 in entries:
+            if not Path(path).exists():
+                raise ValueError(
+                    f"trace_files[{alias!r}]: file not found: {path}"
+                )
+            actual = trace_content_sha256(path)
+            if sha256 and actual != sha256:
+                raise ValueError(
+                    f"trace_files[{alias!r}]: {path} content hash "
+                    f"{actual[:12]}... does not match the spec's pinned "
+                    f"{sha256[:12]}..."
+                )
+            resolved.append((alias, str(path), actual))
+        return tuple(resolved)
+
+    def trace_hashes(self) -> dict[str, str]:
+        """Content hash (sha256) per trace alias the campaign references:
+        the ``[trace_files]`` table plus any sample-library names used in
+        mixes.  Sample hashes come from the library's pinned registry —
+        no file access — except unpinned samples, which are generated on
+        demand and hashed."""
+        hashes = {alias: sha for alias, _path, sha in self.trace_files}
+        from ..traces.library import SAMPLE_TRACES
+
+        for cores in self.num_cores:
+            for mix in self.mixes_for(cores):
+                for entry in mix:
+                    if not entry.startswith(_TRACE_PREFIX):
+                        continue
+                    name = entry[len(_TRACE_PREFIX):]
+                    if name in hashes:
+                        continue
+                    sample = SAMPLE_TRACES.get(name)
+                    if sample is None:
+                        continue  # __post_init__ already rejected unknowns
+                    if sample.sha256:
+                        hashes[name] = sample.sha256
+                    else:
+                        from ..traces.library import ensure_sample_trace
+                        from ..traces.source import trace_content_sha256
+
+                        hashes[name] = trace_content_sha256(
+                            ensure_sample_trace(name)
+                        )
+        return hashes
+
+    def _canonical_mix(
+        self, mix: Iterable[str], hashes: Mapping[str, str]
+    ) -> list[str]:
+        """Mix entries for job-key hashing: ``trace:`` entries become
+        ``trace:<sha256>:<decoder>`` (identity independent of alias and
+        path); synthetic names pass through, keeping pre-existing job
+        keys byte-identical."""
+        return [
+            f"{_TRACE_PREFIX}{hashes[b[len(_TRACE_PREFIX):]]}:{self.decoder}"
+            if b.startswith(_TRACE_PREFIX)
+            else b
+            for b in mix
+        ]
 
     # -- mixes ---------------------------------------------------------------
     def mixes_for(self, cores: int) -> list[list[str]]:
@@ -232,8 +358,12 @@ class CampaignSpec:
 
     # -- identity ------------------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
-        """JSON-serializable canonical form (spec files round-trip)."""
-        return {
+        """JSON-serializable canonical form (spec files round-trip).
+
+        Trace keys appear only when used, so specs without traces
+        serialize — and fingerprint — exactly as before they existed.
+        """
+        data: dict[str, Any] = {
             "name": self.name,
             "description": self.description,
             "variants": [
@@ -253,15 +383,31 @@ class CampaignSpec:
             "seeds": list(self.seeds),
             "instructions": self.instructions,
         }
+        if self.trace_files:
+            data["trace_files"] = {
+                alias: {"path": path, "sha256": sha}
+                for alias, path, sha in self.trace_files
+            }
+        if self.decoder != "dramsim2":
+            data["decoder"] = self.decoder
+        return data
 
     def fingerprint(self) -> str:
         """Content hash identifying this spec (the store's campaign key).
 
         The resolved instruction count is hashed in, so the "same" spec
         under a different ``REPRO_SCALE`` is a different campaign — its
-        results are not interchangeable.
+        results are not interchangeable.  Trace files are hashed by
+        *content* (paths stripped), so relocating a trace file leaves
+        the campaign identity — and its stored results — intact.
         """
-        return content_key([self.to_dict(), self.resolved_instructions()])
+        data = self.to_dict()
+        if "trace_files" in data:
+            data["trace_files"] = {
+                alias: {"sha256": entry["sha256"]}
+                for alias, entry in data["trace_files"].items()
+            }
+        return content_key([data, self.resolved_instructions()])
 
     def resolved_instructions(self) -> int:
         from ..sim.runner import default_instructions
@@ -276,6 +422,8 @@ class CampaignSpec:
         variants of one mix are adjacent (the grouping the reports use).
         """
         instructions = self.resolved_instructions()
+        hashes = self.trace_hashes()
+        carried = tuple((alias, path) for alias, path, _sha in self.trace_files)
         jobs: list[CampaignJob] = []
         for cores in self.num_cores:
             config = baseline_system(cores)
@@ -287,7 +435,7 @@ class CampaignSpec:
                             CampaignJob(
                                 key=job_key(
                                     config,
-                                    mix,
+                                    self._canonical_mix(mix, hashes),
                                     variant.scheduler,
                                     variant.kwargs,
                                     instructions,
@@ -301,6 +449,8 @@ class CampaignSpec:
                                 kwargs=variant.kwargs,
                                 seed=seed,
                                 instructions=instructions,
+                                trace_files=carried,
+                                decoder=self.decoder,
                             )
                         )
         return jobs
@@ -333,9 +483,31 @@ def spec_from_dict(data: Mapping[str, Any]) -> CampaignSpec:
 
     ``schedulers`` is shorthand for kwarg-free variants; ``marking_caps``
     expands the PAR-BS entry into one variant per cap (use ``"none"`` for
-    the uncapped point, matching Figure 11's x-axis).
+    the uncapped point, matching Figure 11's x-axis).  A string entry in
+    ``mixes`` names a registered mix (resolved via
+    :func:`repro.workloads.mixes.get_mix`, which raises a did-you-mean
+    error on typos); ``[trace_files]`` maps aliases onto trace files as
+    a bare path or a ``{path, sha256}`` pin.
     """
     data = dict(data)
+    if "mixes" in data:
+        data["mixes"] = [
+            get_mix(m) if isinstance(m, str) else m for m in data["mixes"] or []
+        ]
+    trace_files: list[tuple[str, str, str]] = []
+    for alias, entry in (data.pop("trace_files", None) or {}).items():
+        if isinstance(entry, str):
+            trace_files.append((str(alias), entry, ""))
+        elif isinstance(entry, Mapping) and entry.get("path"):
+            trace_files.append(
+                (str(alias), str(entry["path"]), str(entry.get("sha256", "")))
+            )
+        else:
+            raise ValueError(
+                f"trace_files[{alias!r}] must be a path string or a "
+                f"{{path, sha256}} table, got {entry!r}"
+            )
+    decoder = str(data.pop("decoder", "dramsim2"))
     variants: list[Variant] = []
     caps = data.pop("marking_caps", None)
     for name in data.pop("schedulers", []) or []:
@@ -387,7 +559,12 @@ def spec_from_dict(data: Mapping[str, Any]) -> CampaignSpec:
         kwargs["seeds"] = (kwargs["seeds"],)
     if not kwargs.get("name"):
         raise ValueError("campaign spec needs a 'name'")
-    return CampaignSpec(variants=tuple(variants), **kwargs)
+    return CampaignSpec(
+        variants=tuple(variants),
+        trace_files=tuple(trace_files),
+        decoder=decoder,
+        **kwargs,
+    )
 
 
 def load_spec(path: str | Path) -> CampaignSpec:

@@ -15,7 +15,21 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Iterator
 
-__all__ = ["TraceEntry", "Trace"]
+__all__ = ["TraceEntry", "Trace", "TraceIngestStats"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceIngestStats:
+    """Provenance counters for a trace read from an external file.
+
+    Synthetic traces have no ingest record (``Trace.ingest is None``);
+    traces built by :mod:`repro.traces` attach one so per-thread results
+    can report how much of the source file was consumed.
+    """
+
+    requests_read: int = 0
+    lines_skipped: int = 0
+    truncated: bool = False
 
 
 @dataclass(frozen=True, slots=True)
@@ -46,9 +60,15 @@ class TraceEntry:
 class Trace:
     """An immutable sequence of trace entries with derived statistics."""
 
-    def __init__(self, entries: Iterable[TraceEntry], name: str = "trace") -> None:
+    def __init__(
+        self,
+        entries: Iterable[TraceEntry],
+        name: str = "trace",
+        ingest: TraceIngestStats | None = None,
+    ) -> None:
         self.entries: tuple[TraceEntry, ...] = tuple(entries)
         self.name = name
+        self.ingest = ingest
         # Entries are immutable, so both derived sequences below are fixed.
         # ``cum_index[pos]`` is the 1-based global instruction index of the
         # ``pos``-th memory instruction; the core model reads it on every
@@ -97,8 +117,15 @@ class Trace:
     def save(self, path: str | Path) -> None:
         """Save as JSON lines: one ``[gap, address, is_write]`` per line."""
         path = Path(path)
+        header: dict = {"name": self.name}
+        if self.ingest is not None:
+            header["ingest"] = [
+                self.ingest.requests_read,
+                self.ingest.lines_skipped,
+                self.ingest.truncated,
+            ]
         with path.open("w") as fh:
-            fh.write(json.dumps({"name": self.name}) + "\n")
+            fh.write(json.dumps(header) + "\n")
             for entry in self.entries:
                 fh.write(
                     json.dumps([entry.gap, entry.address, entry.is_write, entry.depends_on])
@@ -119,4 +146,12 @@ class Trace:
                 )
                 for e in (json.loads(line) for line in fh if line.strip())
             ]
-        return cls(entries, name=header.get("name", path.stem))
+        ingest = None
+        if "ingest" in header:
+            raw = header["ingest"]
+            ingest = TraceIngestStats(
+                requests_read=int(raw[0]),
+                lines_skipped=int(raw[1]),
+                truncated=bool(raw[2]),
+            )
+        return cls(entries, name=header.get("name", path.stem), ingest=ingest)

@@ -21,12 +21,17 @@ Knobs parsed here:
 ``REPRO_CHAOS``            fault-injection plan spec for campaign runs
 ``REPRO_JOB_TIMEOUT_S``    per-job wall-clock timeout in pool/campaign workers
 ``REPRO_METRICS``          operational metrics registry toggle (default on)
+``REPRO_TRACE_DIR``        directory for generated sample trace files
 =========================  ==================================================
 
 ``REPRO_METRICS`` is parsed next to its registry in
 :mod:`repro.obs.metrics` (it is a bare boolean, not one of the shapes
 below) but fails the same way: a value outside 1/true/yes/on/0/false/
 no/off raises :class:`EnvKnobError` naming the variable.
+
+``REPRO_TRACE_DIR`` is a bare directory path (nothing to parse), read in
+:mod:`repro.traces.library`; unset means generated traces land next to
+the committed samples in the package ``data/`` directory.
 """
 
 from __future__ import annotations

@@ -52,6 +52,13 @@ class ThreadResult:
     row_hits: int = 0
     row_conflicts: int = 0
     latency_avg: float = 0.0
+    # Trace-ingestion provenance, populated only for threads driven by an
+    # external trace file (see :mod:`repro.traces`): how many requests
+    # the file contributed, how many lines failed to parse, and whether
+    # the stream was cut off by the instruction/request budget.
+    requests_read: int = 0
+    lines_skipped: int = 0
+    truncated: bool = False
 
     @property
     def memory_slowdown(self) -> float:
@@ -61,6 +68,25 @@ class ThreadResult:
     def latency_max(self) -> int:
         """Worst shared-run request latency (alias of ``worst_latency``)."""
         return self.worst_latency
+
+    def describe(self) -> str:
+        """One-line summary (the per-thread row of
+        :meth:`WorkloadResult.describe`); traced threads append their
+        ingestion provenance."""
+        line = (
+            f"t{self.thread_id} {self.benchmark:<12} "
+            f"slowdown={self.memory_slowdown:5.2f} "
+            f"AST/req={self.ast_per_req:7.1f} BLP={self.blp_shared:.2f} "
+            f"(alone {self.blp_alone:.2f}) rowhit={self.row_hit_rate:.0%} "
+            f"lat avg={self.latency_avg:.0f} max={self.latency_max}"
+        )
+        if self.requests_read:
+            line += (
+                f" trace[reqs={self.requests_read}"
+                f" skipped={self.lines_skipped}"
+                f"{' truncated' if self.truncated else ''}]"
+            )
+        return line
 
 
 @dataclass(frozen=True)
@@ -152,12 +178,7 @@ class WorkloadResult:
                 f"min-rebuilds {self.min_rebuilds})"
             )
         for t in self.threads:
-            lines.append(
-                f"  t{t.thread_id} {t.benchmark:<12} slowdown={t.memory_slowdown:5.2f} "
-                f"AST/req={t.ast_per_req:7.1f} BLP={t.blp_shared:.2f} "
-                f"(alone {t.blp_alone:.2f}) rowhit={t.row_hit_rate:.0%} "
-                f"lat avg={t.latency_avg:.0f} max={t.latency_max}"
-            )
+            lines.append(f"  {t.describe()}")
         if self.telemetry is not None:
             described = self.telemetry.describe()
             if described:

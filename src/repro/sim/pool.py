@@ -111,6 +111,11 @@ class SimJob:
     # submitting runner so serial and pooled execution agree even when a
     # worker's environment differs; None resolves REPRO_BACKEND.
     backend: str | None = None
+    # External trace wiring: sorted (alias, path) pairs for ``trace:``
+    # workload entries, plus the address-decoder spec applied to them.
+    # Tuples (not dicts) keep the job hashable and deterministic.
+    trace_files: tuple[tuple[str, str], ...] = ()
+    decoder: str = "dramsim2"
 
     def runner_key(self) -> str:
         """Content hash of everything that parameterizes the runner."""
@@ -122,6 +127,8 @@ class SimJob:
                 self.cache_dir,
                 self.trace,
                 self.backend,
+                self.trace_files,
+                self.decoder,
             ]
         )
 
@@ -148,6 +155,8 @@ def _runner_for(job: SimJob) -> "ExperimentRunner":
             # the submitting runner already resolved the environment.
             trace=job.trace if job.trace is not None else TraceConfig(),
             backend=job.backend,
+            trace_files=dict(job.trace_files),
+            decoder=job.decoder,
         )
         _WORKER_RUNNERS[key] = runner
     return runner

@@ -29,12 +29,13 @@ from pathlib import Path
 from typing import Any, Sequence
 
 from ..config import SystemConfig, baseline_system
-from ..cpu.trace import Trace, TraceEntry
+from ..cpu.trace import Trace, TraceEntry, TraceIngestStats
 from ..envknobs import read_float
 from ..guard import guard_from_env
 from ..metrics.summary import ThreadResult, WorkloadResult
 from ..obs import JsonlSink, Telemetry, TraceConfig, Tracer
 from ..schedulers.base import Scheduler
+from ..traces.source import TraceFileRef, TraceRequestSource
 from ..workloads.generator import TraceGenerator
 from ..workloads.profiles import profile
 from .diskcache import SIM_FINGERPRINT, DiskCache, cache_enabled, content_key
@@ -42,7 +43,16 @@ from .factory import make_scheduler
 from .system import System
 from .verify import BACKENDS, backend_from_env, compare_results, compare_systems
 
-__all__ = ["AloneStats", "ExperimentRunner", "default_instructions"]
+__all__ = [
+    "AloneStats",
+    "ExperimentRunner",
+    "TRACE_PREFIX",
+    "default_instructions",
+]
+
+# Workload entries with this prefix name an external trace file (by
+# alias, sample-library name, or path) instead of a synthetic benchmark.
+TRACE_PREFIX = "trace:"
 
 # Sentinel distinguishing "not passed" (resolve from the environment)
 # from an explicit ``cache_dir=None`` (disable the on-disk cache).
@@ -83,6 +93,8 @@ class ExperimentRunner:
         cache_dir: Any = _DEFAULT_CACHE,
         trace: TraceConfig | None = None,
         backend: str | None = None,
+        trace_files: dict[str, str] | None = None,
+        decoder: str = "dramsim2",
     ) -> None:
         self.config = config or baseline_system(4)
         self.instructions = instructions or default_instructions()
@@ -105,6 +117,13 @@ class ExperimentRunner:
         resolved = trace if trace is not None else TraceConfig.from_env()
         self.trace = resolved if resolved is not None else TraceConfig()
         self.generator = TraceGenerator(mapping=self.config.dram.mapping())
+        # External trace wiring: ``trace_files`` maps workload aliases
+        # (``trace:<alias>`` entries) onto files; ``decoder`` names the
+        # address bit-field layout (preset or ``field=bits,...`` spec)
+        # applied to every trace in this runner.
+        self.trace_files = dict(trace_files or {})
+        self.decoder = decoder
+        self._trace_refs: dict[str, TraceFileRef] = {}
         self._trace_cache: dict[tuple[str, int], Trace] = {}
         self._alone_cache: dict[str, AloneStats] = {}
         if cache_dir is _DEFAULT_CACHE:
@@ -122,6 +141,123 @@ class ExperimentRunner:
     @property
     def cache_dir(self) -> str | None:
         return str(self._disk.root) if self._disk is not None else None
+
+    # -- external trace files ----------------------------------------------------
+    def resolve_trace(self, entry: str) -> TraceFileRef:
+        """Resolve a ``trace:NAME`` workload entry to a content-pinned ref.
+
+        ``NAME`` is tried as a ``trace_files`` alias, then a sample-library
+        name (generated on demand), then a file path.  The ref pins the
+        file by SHA-256 of its decompressed content, so everything keyed
+        on it (job keys, cache entries, manifests) is path-independent.
+        """
+        name = entry[len(TRACE_PREFIX):] if entry.startswith(TRACE_PREFIX) else entry
+        ref = self._trace_refs.get(name)
+        if ref is not None:
+            return ref
+        if name in self.trace_files:
+            path: str | Path = self.trace_files[name]
+            if not Path(path).exists():
+                raise FileNotFoundError(
+                    f"trace alias {name!r} points at missing file {path}"
+                )
+        else:
+            from ..traces.library import SAMPLE_TRACES, ensure_sample_trace
+
+            if name in SAMPLE_TRACES:
+                path = ensure_sample_trace(name)
+            elif Path(name).exists():
+                path = name
+            else:
+                known = sorted(set(self.trace_files) | set(SAMPLE_TRACES))
+                raise ValueError(
+                    f"unknown trace {name!r}: not a --trace-file alias, "
+                    f"sample trace, or existing path (known: "
+                    f"{', '.join(known)})"
+                )
+        ref = TraceFileRef.from_path(path, decoder=self.decoder)
+        self._trace_refs[name] = ref
+        return ref
+
+    def canonical_workload(self, workload: Sequence[str]) -> list[str]:
+        """Workload names for hashing: ``trace:`` entries become their
+        content-addressed ``trace:<sha256>:<decoder>`` form (identity
+        independent of aliases and file locations); synthetic benchmark
+        names pass through unchanged, so pre-existing job keys are
+        untouched."""
+        return [
+            self.resolve_trace(b).key() if b.startswith(TRACE_PREFIX) else b
+            for b in workload
+        ]
+
+    def _trace_file_for(self, entry: str) -> Trace:
+        """Materialize (and cache) the paced, decoded trace for one
+        ``trace:`` workload entry, truncated to the instruction budget."""
+        key = (entry, 0)
+        trace = self._trace_cache.get(key)
+        if trace is not None:
+            return trace
+        ref = self.resolve_trace(entry)
+        disk_key = (
+            content_key(
+                [
+                    SIM_FINGERPRINT,
+                    "tracefile",
+                    ref.sha256,
+                    ref.decoder,
+                    self.config.dram,
+                    self.instructions,
+                ]
+            )
+            if self._disk
+            else ""
+        )
+        if self._disk is not None:
+            cached = self._disk.get("trace", disk_key)
+            if cached is not None:
+                stats = cached.get("ingest") or [0, 0, False]
+                trace = Trace(
+                    (TraceEntry(e[0], e[1], bool(e[2]), e[3]) for e in cached["entries"]),
+                    name=cached["name"],
+                    ingest=TraceIngestStats(
+                        requests_read=int(stats[0]),
+                        lines_skipped=int(stats[1]),
+                        truncated=bool(stats[2]),
+                    ),
+                )
+                self._trace_cache[key] = trace
+                return trace
+        name = entry[len(TRACE_PREFIX):] if entry.startswith(TRACE_PREFIX) else entry
+        source = TraceRequestSource(
+            ref.path,
+            decoder=ref.decoder,
+            mapping=self.config.dram.mapping(),
+            name=name,
+        )
+        trace = source.materialize(max_instructions=self.instructions)
+        if not trace.entries:
+            raise ValueError(f"trace {name!r} ({ref.path}) has no records")
+        if self._disk is not None:
+            ingest = trace.ingest
+            assert ingest is not None
+            self._disk.put(
+                "trace",
+                disk_key,
+                {
+                    "name": trace.name,
+                    "entries": [
+                        [e.gap, e.address, int(e.is_write), e.depends_on]
+                        for e in trace.entries
+                    ],
+                    "ingest": [
+                        ingest.requests_read,
+                        ingest.lines_skipped,
+                        ingest.truncated,
+                    ],
+                },
+            )
+        self._trace_cache[key] = trace
+        return trace
 
     # -- trace construction ------------------------------------------------------
     def _trace_key(self, benchmark: str, copy_index: int) -> str:
@@ -142,7 +278,14 @@ class ExperimentRunner:
     def trace_for(self, benchmark: str, copy_index: int = 0) -> Trace:
         """Deterministic trace for ``benchmark``; distinct ``copy_index``
         values give statistically identical but decorrelated traces (for
-        workloads with repeated benchmarks)."""
+        workloads with repeated benchmarks).
+
+        ``trace:`` entries come from their file instead: copies of the
+        same file are identical (a recorded stream has exactly one
+        realization — decorrelation only applies to synthetic threads).
+        """
+        if benchmark.startswith(TRACE_PREFIX):
+            return self._trace_file_for(benchmark)
         key = (benchmark, copy_index)
         trace = self._trace_cache.get(key)
         if trace is not None:
@@ -192,11 +335,16 @@ class ExperimentRunner:
         # the key deliberately ignores ``num_cores``: 4- and 16-core
         # suites share alone baselines, exactly as the paper's metric
         # definition implies.
+        name = (
+            self.resolve_trace(benchmark).key()
+            if benchmark.startswith(TRACE_PREFIX)
+            else benchmark
+        )
         return content_key(
             [
                 SIM_FINGERPRINT,
                 "alone",
-                benchmark,
+                name,
                 replace(self.config, num_cores=1),
                 self.instructions,
                 self.seed,
@@ -275,7 +423,7 @@ class ExperimentRunner:
             [
                 SIM_FINGERPRINT,
                 self.config,
-                list(workload),
+                self.canonical_workload(workload),
                 scheduler_name,
                 described,
                 self.instructions,
@@ -400,10 +548,14 @@ class ExperimentRunner:
             assert snap is not None
             mem = system.controller.stats_for(thread_id)
             base = self.alone(benchmark)
+            ingest = getattr(core.trace, "ingest", None) or TraceIngestStats()
             threads.append(
                 ThreadResult(
                     thread_id=thread_id,
                     benchmark=benchmark,
+                    requests_read=ingest.requests_read,
+                    lines_skipped=ingest.lines_skipped,
+                    truncated=ingest.truncated,
                     ipc_shared=snap.ipc,
                     ipc_alone=base.ipc,
                     mcpi_shared=snap.mcpi,
@@ -519,6 +671,8 @@ class ExperimentRunner:
                 cache_dir=self.cache_dir,
                 trace=self.trace,
                 backend=self.backend,
+                trace_files=tuple(sorted(self.trace_files.items())),
+                decoder=self.decoder,
             )
             for workload, name, kwargs in specs
         ]

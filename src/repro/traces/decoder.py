@@ -1,0 +1,241 @@
+"""Configurable physical-address decoding for external traces.
+
+An external trace stamps each access with a *raw* physical address laid
+out by whatever machine produced it.  :class:`AddressDecoder` describes
+that layout as an ordered sequence of named bit fields
+(most-significant first) over ``channel``/``rank``/``bank``/``row``/
+``column``, above a cache-line offset, and provides the exact inverse
+(:meth:`AddressDecoder.encode`) so layouts round-trip.
+
+:meth:`AddressDecoder.map_to` then projects decoded coordinates onto the
+simulator's :class:`~repro.dram.address.AddressMapping` geometry: ranks
+fold into the flat per-channel bank space (the object model has banks,
+not ranks), and any axis wider than the target geometry aliases
+modulo that geometry — deterministic, and documented here rather than
+hidden.  The result is a simulator byte address, so traced requests flow
+through exactly the same mapping/controller path as synthetic ones (and
+the fast backend's predecode sees ordinary addresses).
+
+Named presets:
+
+``paper``
+    The paper's single-channel baseline (Table 2): 2 KB rows → 5 column
+    bits above the 64 B line offset, 8 banks, no ranks, row on top.
+``dramsim2``
+    A DRAMSim2-style default: ``row:rank:bank:column`` over a 256 MB
+    single-channel device (14 row bits, 1 rank bit, 8 banks, 4 column
+    bits above the line offset).
+``channel-interleave``
+    As ``dramsim2`` but with one channel bit in the lowest position
+    above the offset, spreading consecutive lines across channels.
+``bank-low``
+    Bank bits directly above the line offset: consecutive lines stripe
+    across banks (maximum bank-level parallelism for streams).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import NamedTuple
+
+from ..dram.address import AddressMapping
+
+__all__ = [
+    "AddressDecoder",
+    "DECODER_PRESETS",
+    "DecodedAddress",
+    "parse_decoder",
+]
+
+_FIELD_NAMES = ("channel", "rank", "bank", "row", "column")
+
+
+class DecodedAddress(NamedTuple):
+    """Raw trace-address coordinates (before projection onto the
+    simulator geometry)."""
+
+    channel: int
+    rank: int
+    bank: int
+    row: int
+    column: int
+
+
+@dataclass(frozen=True)
+class AddressDecoder:
+    """Bit-field layout of a raw physical address.
+
+    ``fields`` orders ``(name, bits)`` pairs most-significant first;
+    names come from ``channel``/``rank``/``bank``/``row``/``column`` and
+    each may appear at most once (omitted fields decode as 0).  The low
+    ``offset_bits`` are the intra-line offset and are discarded on
+    decode / zeroed on encode.
+    """
+
+    fields: tuple[tuple[str, int], ...]
+    offset_bits: int = 6  # 64 B cache lines
+    name: str = "custom"
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for field, bits in self.fields:
+            if field not in _FIELD_NAMES:
+                raise ValueError(
+                    f"unknown address field {field!r} "
+                    f"(choose from {', '.join(_FIELD_NAMES)})"
+                )
+            if field in seen:
+                raise ValueError(f"duplicate address field {field!r}")
+            if bits < 0:
+                raise ValueError(f"field {field!r} has negative width")
+            seen.add(field)
+        if self.offset_bits < 0:
+            raise ValueError("offset_bits must be non-negative")
+
+    @property
+    def width(self) -> int:
+        """Total decoded width in bits, offset included."""
+        return self.offset_bits + sum(bits for _f, bits in self.fields)
+
+    def spec(self) -> str:
+        """Canonical ``field=bits`` spec string (parses back)."""
+        return ",".join(f"{field}={bits}" for field, bits in self.fields)
+
+    def decode(self, address: int) -> DecodedAddress:
+        """Peel ``address`` into coordinates per the layout.  Bits above
+        the layout's width extend the most-significant field (so huge
+        addresses keep decoding rather than wrapping)."""
+        if address < 0:
+            raise ValueError("address must be non-negative")
+        value = address >> self.offset_bits
+        out = dict.fromkeys(_FIELD_NAMES, 0)
+        for index in range(len(self.fields) - 1, -1, -1):
+            field, bits = self.fields[index]
+            if index == 0:
+                out[field] = value  # MSB field takes everything left
+            else:
+                out[field] = value & ((1 << bits) - 1)
+                value >>= bits
+        return DecodedAddress(**out)
+
+    def encode(
+        self,
+        channel: int = 0,
+        rank: int = 0,
+        bank: int = 0,
+        row: int = 0,
+        column: int = 0,
+    ) -> int:
+        """Exact inverse of :meth:`decode` (offset bits zero).
+
+        Every value must fit its field width — except the
+        most-significant field, which may overflow upward, mirroring
+        :meth:`decode`.
+        """
+        coords = {
+            "channel": channel,
+            "rank": rank,
+            "bank": bank,
+            "row": row,
+            "column": column,
+        }
+        value = 0
+        for index, (field, bits) in enumerate(self.fields):
+            coord = coords.pop(field)
+            if coord < 0:
+                raise ValueError(f"{field} must be non-negative")
+            if index > 0 and coord >= (1 << bits):
+                raise ValueError(
+                    f"{field}={coord} does not fit {bits} bit(s) in "
+                    f"decoder {self.name!r}"
+                )
+            value = (value << bits) | coord
+        for field, coord in coords.items():
+            if coord:
+                raise ValueError(
+                    f"decoder {self.name!r} has no {field!r} field "
+                    f"(got {field}={coord})"
+                )
+        return value << self.offset_bits
+
+    # -- projection onto the simulator geometry ------------------------------
+    def bits(self, field: str) -> int:
+        for name, width in self.fields:
+            if name == field:
+                return width
+        return 0
+
+    def map_to(self, mapping: AddressMapping, address: int) -> int:
+        """Project a raw trace address onto ``mapping``'s geometry and
+        return a simulator *byte address* hitting those coordinates.
+
+        Ranks fold into the flat bank space (``rank * banks_per_rank +
+        bank``); banks beyond the target's bank count carry into the row
+        (so a 2-rank trace on an 8-bank target uses distinct rows, not
+        aliased banks); channel and column reduce modulo the target.
+        The intra-line offset is dropped — the simulator is line-grained.
+        """
+        decoded = self.decode(address)
+        banks_per_rank = 1 << self.bits("bank")
+        total_banks = banks_per_rank << self.bits("rank")
+        flat_bank = decoded.rank * banks_per_rank + decoded.bank
+        bank = flat_bank % mapping.num_banks
+        scale = max(1, total_banks // mapping.num_banks)
+        row = decoded.row * scale + flat_bank // mapping.num_banks
+        return mapping.compose(
+            channel=decoded.channel % mapping.num_channels,
+            bank=bank,
+            row=row,
+            column=decoded.column % mapping.columns_per_row,
+        )
+
+
+def _preset(name: str, *fields: tuple[str, int]) -> AddressDecoder:
+    return AddressDecoder(fields=tuple(fields), name=name)
+
+
+DECODER_PRESETS: dict[str, AddressDecoder] = {
+    "paper": _preset("paper", ("row", 16), ("bank", 3), ("column", 5)),
+    "dramsim2": _preset(
+        "dramsim2", ("row", 14), ("rank", 1), ("bank", 3), ("column", 4)
+    ),
+    "channel-interleave": _preset(
+        "channel-interleave",
+        ("row", 14),
+        ("rank", 1),
+        ("bank", 3),
+        ("column", 4),
+        ("channel", 1),
+    ),
+    "bank-low": _preset("bank-low", ("row", 16), ("column", 5), ("bank", 3)),
+}
+
+
+def parse_decoder(spec: str) -> AddressDecoder:
+    """Resolve a decoder from a preset name or a field spec.
+
+    A spec is comma-separated ``field=bits`` pairs ordered
+    most-significant first, e.g. ``row=14,rank=1,bank=3,column=4``.
+    Unknown preset names raise a ``ValueError`` listing the presets.
+    """
+    spec = spec.strip()
+    preset = DECODER_PRESETS.get(spec)
+    if preset is not None:
+        return preset
+    if "=" not in spec:
+        raise ValueError(
+            f"unknown decoder preset {spec!r} (presets: "
+            f"{', '.join(sorted(DECODER_PRESETS))}; or pass a "
+            "'field=bits,...' layout)"
+        )
+    fields = []
+    for part in spec.split(","):
+        name, _eq, bits_text = part.partition("=")
+        try:
+            bits = int(bits_text)
+        except ValueError:
+            raise ValueError(
+                f"bad decoder field {part.strip()!r} (want 'field=bits')"
+            ) from None
+        fields.append((name.strip(), bits))
+    return AddressDecoder(fields=tuple(fields), name=spec)

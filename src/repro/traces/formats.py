@@ -1,0 +1,250 @@
+"""Streaming parsers for DRAMSim2-style trace files.
+
+Two line formats are supported, matching DRAMSim2's ``traceBasedSim``
+front-end:
+
+``k6``
+    ``<hex-address> <op> <cycle>`` where ``op`` is one of the K6 bus
+    transaction kinds (``P_MEM_RD``, ``P_MEM_WR``, ``P_FETCH``,
+    ``P_LOCK_RD``, ``P_LOCK_WR``; ``BOFF`` and ``P_INT_ACK`` lines carry
+    no memory access and are skipped)::
+
+        0x7f4228 P_MEM_WR 186
+
+``mase``
+    ``<hex-address> <op> <cycle>`` where ``op`` is ``READ``, ``WRITE``
+    or ``IFETCH``::
+
+        0x1003f10 IFETCH 0
+
+Both parsers are line-level pure functions; :func:`open_trace` streams a
+plain or gzip-compressed file through them with **O(1) resident memory**
+— lines are consumed one at a time off a fixed-size decode buffer and
+never accumulated.  Format auto-detection reads ahead only as far as the
+first parseable record.  Blank lines and ``#``/``;`` comments are
+ignored; anything else that fails to parse is counted in
+:attr:`IngestStats.lines_skipped` rather than raising, so a trace with a
+corrupt tail still yields every good record.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, Iterator, NamedTuple
+
+__all__ = [
+    "IngestStats",
+    "TraceFormatError",
+    "TraceRecord",
+    "detect_format",
+    "open_trace",
+    "parse_k6_line",
+    "parse_mase_line",
+]
+
+TRACE_FORMATS = ("k6", "mase")
+
+# Buffer for the text decoder wrapping the (possibly gzip) byte stream.
+# Bounds resident memory regardless of trace length.
+_READ_BUFFER_BYTES = 1 << 16
+
+# How many non-comment lines auto-detection may scan before giving up.
+_DETECT_WINDOW = 64
+
+# K6 transaction kinds.  ``True``/``False`` = write/read; ``None`` = the
+# line is a valid K6 record but carries no memory access (bus back-off,
+# interrupt acknowledge) and is silently dropped, not counted as skipped.
+_K6_OPS: dict[str, bool | None] = {
+    "P_MEM_RD": False,
+    "P_FETCH": False,
+    "P_LOCK_RD": False,
+    "P_MEM_WR": True,
+    "P_LOCK_WR": True,
+    "BOFF": None,
+    "P_INT_ACK": None,
+}
+
+_MASE_OPS: dict[str, bool] = {
+    "READ": False,
+    "IFETCH": False,
+    "WRITE": True,
+}
+
+
+class TraceFormatError(ValueError):
+    """The trace file's format could not be determined or was invalid."""
+
+
+class TraceRecord(NamedTuple):
+    """One memory access from an external trace: raw physical address,
+    direction, and the CPU cycle the trace stamps it with."""
+
+    address: int
+    is_write: bool
+    cycle: int
+
+
+@dataclass
+class IngestStats:
+    """Counters accumulated while streaming one trace.
+
+    ``lines_skipped`` counts malformed or unsupported lines (not blank
+    lines or comments); ``truncated`` is set by consumers that stop
+    before the stream is exhausted (see
+    :class:`~repro.traces.source.TraceRequestSource`).
+    """
+
+    lines_read: int = 0
+    records: int = 0
+    lines_skipped: int = 0
+    truncated: bool = False
+    format: str = ""
+
+
+def _parse_three(line: str, ops: dict) -> "TraceRecord | None | str":
+    """Shared ``<addr> <op> <cycle>`` parsing.
+
+    Returns a record, ``None`` for an access-free but valid line, or the
+    string ``"skip"`` for an unparseable one (a sentinel keeps the hot
+    per-line path exception-free for the common cases).
+    """
+    parts = line.split()
+    if len(parts) != 3:
+        return "skip"
+    addr_text, op, cycle_text = parts
+    if op not in ops:
+        return "skip"
+    try:
+        address = int(addr_text, 16)
+        cycle = int(cycle_text)
+    except ValueError:
+        return "skip"
+    if address < 0 or cycle < 0:
+        return "skip"
+    is_write = ops[op]
+    if is_write is None:
+        return None
+    return TraceRecord(address=address, is_write=is_write, cycle=cycle)
+
+
+def parse_k6_line(line: str) -> "TraceRecord | None | str":
+    """Parse one K6-format line (see module docstring)."""
+    return _parse_three(line, _K6_OPS)
+
+
+def parse_mase_line(line: str) -> "TraceRecord | None | str":
+    """Parse one mase-format line (see module docstring)."""
+    return _parse_three(line, _MASE_OPS)
+
+
+_PARSERS = {"k6": parse_k6_line, "mase": parse_mase_line}
+
+
+def _is_noise(line: str) -> bool:
+    """Blank line or comment — ignored without counting as skipped."""
+    stripped = line.strip()
+    return not stripped or stripped[0] in "#;"
+
+
+def detect_format(lines: list[str]) -> str:
+    """Detect ``"k6"`` or ``"mase"`` from the leading lines of a trace.
+
+    The op column decides: the two vocabularies are disjoint.  Raises
+    :class:`TraceFormatError` if no line within the detection window
+    parses under either format.
+    """
+    for line in lines:
+        if _is_noise(line):
+            continue
+        parts = line.split()
+        if len(parts) == 3:
+            if parts[1] in _K6_OPS:
+                return "k6"
+            if parts[1] in _MASE_OPS:
+                return "mase"
+    raise TraceFormatError(
+        "could not detect trace format (no k6 or mase record in the "
+        f"first {len(lines)} lines)"
+    )
+
+
+def open_trace_stream(path: str | Path) -> IO[str]:
+    """Open ``path`` as a text line stream, transparently gunzipping.
+
+    Detection is by content (the gzip magic bytes), not the file name,
+    so ``trace.k6`` and ``trace.k6.gz`` both work however they are
+    named.  The returned stream reads through a fixed-size buffer; it
+    never loads the file.
+    """
+    fh = open(path, "rb", buffering=_READ_BUFFER_BYTES)
+    try:
+        magic = fh.read(2)
+        fh.seek(0)
+        raw: IO[bytes] = fh
+        if magic == b"\x1f\x8b":
+            raw = gzip.GzipFile(fileobj=fh, mode="rb")  # type: ignore[assignment]
+        return io.TextIOWrapper(raw, encoding="ascii", errors="replace")
+    except Exception:
+        fh.close()
+        raise
+
+
+def open_trace(
+    path: str | Path,
+    format: str = "auto",
+    stats: IngestStats | None = None,
+) -> Iterator[TraceRecord]:
+    """Stream :class:`TraceRecord` items from a trace file.
+
+    ``format`` is ``"k6"``, ``"mase"`` or ``"auto"`` (detect from the
+    first parseable line).  Pass an :class:`IngestStats` to receive line
+    and skip counters as the stream is consumed.  The generator holds at
+    most the detection window of lines at any time — memory use is
+    independent of trace length.
+    """
+    if format not in TRACE_FORMATS and format != "auto":
+        raise TraceFormatError(
+            f"unknown trace format {format!r} (choose from "
+            f"{', '.join(TRACE_FORMATS)} or 'auto')"
+        )
+    if stats is None:
+        stats = IngestStats()
+    stream = open_trace_stream(path)
+    try:
+        pending: list[str] = []
+        if format == "auto":
+            # Read ahead just far enough to see one parseable record;
+            # the buffered lines are replayed through the real parser.
+            for line in stream:
+                pending.append(line)
+                if not _is_noise(line) and len(pending) >= 1:
+                    try:
+                        format = detect_format(pending)
+                        break
+                    except TraceFormatError:
+                        if len(pending) >= _DETECT_WINDOW:
+                            raise
+        if format == "auto":  # empty or all-noise file
+            raise TraceFormatError(f"no trace records in {path}")
+        stats.format = format
+        parse = _PARSERS[format]
+        for line in _chain_lines(pending, stream):
+            stats.lines_read += 1
+            if _is_noise(line):
+                continue
+            record = parse(line)
+            if record == "skip":
+                stats.lines_skipped += 1
+            elif record is not None:
+                stats.records += 1
+                yield record
+    finally:
+        stream.close()
+
+
+def _chain_lines(pending: list[str], stream: IO[str]) -> Iterator[str]:
+    yield from pending
+    yield from stream

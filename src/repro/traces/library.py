@@ -1,0 +1,233 @@
+"""Registry and deterministic generator for the sample trace files.
+
+The repository cannot carry real SPEC traces, so it carries the next
+best thing: small, seeded, bit-reproducible trace files in DRAMSim2's
+own line formats, spanning the same axes the paper's workload table
+spans.  Four access archetypes:
+
+``stream``
+    Sequential walk through rows — streaming-bandwidth behaviour, high
+    row-buffer locality, all banks visited in turn.
+``chase``
+    Pointer-chasing: every access jumps to a random row and bank —
+    latency-bound, near-zero row locality.
+``rowlocal``
+    Bursts of accesses inside one row before moving on — the
+    row-buffer-friendly extreme.
+``conflict``
+    Random banks but only a handful of rows per bank — maximal
+    bank-conflict pressure.
+
+Each archetype appears at two points on an MPKI ladder via
+``cycles_per_access`` (the stamp spacing the pacing layer converts into
+compute gaps): a ``-hi`` memory-intensive variant and a ``-lo`` light
+variant.  Generation is a pure function of the :class:`SampleTrace`
+entry — same seed, same bytes, every time — and committed samples are
+gzipped with a zeroed mtime so the archive itself is reproducible and
+can be pinned by SHA-256 below.
+
+``stream-100k`` is registered but **not** committed: it is the
+≥100k-line trace the O(1)-memory and end-to-end tests generate on
+demand (into :func:`trace_dir`, i.e. ``REPRO_TRACE_DIR`` or the package
+``data/`` directory).
+"""
+
+from __future__ import annotations
+
+import gzip
+import os
+import random
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+from .decoder import DECODER_PRESETS
+
+__all__ = [
+    "SAMPLE_TRACES",
+    "SampleTrace",
+    "ensure_sample_trace",
+    "sample_trace_path",
+    "synthesize_trace_lines",
+    "trace_dir",
+]
+
+_DATA_DIR = Path(__file__).parent / "data"
+
+# All synthesized addresses are laid out for this decoder, so decoding a
+# sample with it recovers the generator's intended coordinates exactly.
+_LAYOUT = DECODER_PRESETS["dramsim2"]
+
+_K6_READ_OPS = ("P_MEM_RD", "P_FETCH", "P_LOCK_RD")
+_ARCHETYPES = ("stream", "chase", "rowlocal", "conflict")
+
+
+@dataclass(frozen=True)
+class SampleTrace:
+    """One registered sample: the full recipe plus, for committed files,
+    the pinned content hash (of the decompressed text)."""
+
+    name: str
+    archetype: str
+    format: str  # "k6" | "mase"
+    lines: int  # memory-access records to emit
+    seed: int
+    cycles_per_access: int  # stamp spacing -> MPKI ladder position
+    committed: bool = True
+    sha256: str = ""
+
+
+def trace_dir() -> Path:
+    """Directory for generated (non-committed) trace files:
+    ``REPRO_TRACE_DIR`` if set, else the package ``data/`` directory."""
+    override = os.environ.get("REPRO_TRACE_DIR", "").strip()
+    return Path(override) if override else _DATA_DIR
+
+
+def _registry(*samples: SampleTrace) -> dict[str, SampleTrace]:
+    return {s.name: s for s in samples}
+
+
+# ``cycles_per_access`` sets the MPKI rung under the default 1.0
+# instructions-per-cycle pacing: average instructions per access is
+# ~(1 + cycles_per_access/2), so ~38 lands near MPKI 50 (memory-hog end
+# of the paper's Table 3) and ~400-600 near MPKI 2-5 (the light end).
+SAMPLE_TRACES: dict[str, SampleTrace] = _registry(
+    SampleTrace("stream-hi", "stream", "k6", 4000, 101, 38, sha256="d23b00b4d91909acefbb68a13dae8067a32a12539c224c5a2a0aa2599390538e"),
+    SampleTrace("stream-lo", "stream", "k6", 2000, 102, 400, sha256="e2c762c700b2d99dadd3259ed2bde8844894ef591e26dc2aa705457561e53fb2"),
+    SampleTrace("chase-hi", "chase", "mase", 4000, 201, 30, sha256="60ab6958832ccbc4e47aee2fe947264ec13b4fb79c04f190f91636b6ef2bd9a0"),
+    SampleTrace("chase-lo", "chase", "mase", 2000, 202, 500, sha256="89cc227c1560065b089f3c1944faed61fc6c05c730583cffcbcffbc930561b49"),
+    SampleTrace("rowlocal-hi", "rowlocal", "k6", 4000, 301, 34, sha256="7c34e1cd36754ec7f29e4a4a8967f9738baebc1f03ec0ab403ca5041c7a09aed"),
+    SampleTrace("rowlocal-lo", "rowlocal", "mase", 2000, 302, 440, sha256="10755e1d96ac958072b4362a939b7bf01cf0bfc18c43dc04ce2fd305a7367899"),
+    SampleTrace("conflict-hi", "conflict", "k6", 4000, 401, 36, sha256="db5a1020ee62c673b5d753ccd254d5672c2fa0ae701d2b23f901ea6e6704c859"),
+    SampleTrace("conflict-lo", "conflict", "k6", 2000, 402, 600, sha256="72abc0bfd1992f8139c21841c6981b30b0c35a7c44142829757b13fb91540466"),
+    SampleTrace(
+        "stream-100k", "stream", "k6", 120_000, 999, 38, committed=False
+    ),
+)
+
+
+def _address(rng: random.Random, archetype: str, state: dict) -> int:
+    """Next raw address for ``archetype``; ``state`` persists the walk."""
+    if archetype == "stream":
+        state["column"] += 1
+        if state["column"] >= 16:  # one _LAYOUT row of columns
+            state["column"] = 0
+            state["bank"] = (state["bank"] + 1) % 8
+            if state["bank"] == 0:
+                state["row"] = (state["row"] + 1) % (1 << 14)
+    elif archetype == "chase":
+        state["row"] = rng.randrange(1 << 14)
+        state["bank"] = rng.randrange(8)
+        state["column"] = rng.randrange(16)
+    elif archetype == "rowlocal":
+        state["burst"] -= 1
+        if state["burst"] <= 0:
+            state["burst"] = rng.randrange(24, 64)
+            state["row"] = rng.randrange(1 << 14)
+            state["bank"] = rng.randrange(8)
+        state["column"] = rng.randrange(16)
+    elif archetype == "conflict":
+        state["bank"] = rng.randrange(8)
+        state["row"] = state["hot_rows"][state["bank"]][rng.randrange(4)]
+        state["column"] = rng.randrange(16)
+    else:
+        raise ValueError(
+            f"unknown archetype {archetype!r} "
+            f"(choose from {', '.join(_ARCHETYPES)})"
+        )
+    return _LAYOUT.encode(
+        rank=rng.randrange(2),
+        bank=state["bank"],
+        row=state["row"],
+        column=state["column"],
+    )
+
+
+def synthesize_trace_lines(sample: SampleTrace) -> Iterator[str]:
+    """Yield the trace's text lines (no trailing newlines), bit-for-bit
+    deterministic in ``sample``."""
+    rng = random.Random(sample.seed)
+    state = {
+        "row": 0,
+        "bank": 0,
+        "column": 0,
+        "burst": 0,
+        "hot_rows": [
+            [rng.randrange(1 << 14) for _ in range(4)] for _bank in range(8)
+        ],
+    }
+    yield f"# {sample.name}: {sample.archetype} archetype, seed {sample.seed}"
+    cycle = 0
+    for index in range(sample.lines):
+        address = _address(rng, sample.archetype, state)
+        is_write = rng.random() < 0.25
+        if sample.format == "k6":
+            op = "P_MEM_WR" if is_write else _K6_READ_OPS[rng.randrange(3)]
+        else:
+            op = "WRITE" if is_write else ("IFETCH" if rng.random() < 0.2 else "READ")
+        yield f"0x{address:x} {op} {cycle}"
+        # The access-free K6 kinds exercise the parser's skip-nothing
+        # path; the deliberate junk line below exercises skip *counting*
+        # (real trace tails are often corrupt).
+        if sample.format == "k6" and index % 1000 == 999:
+            yield f"0x0 BOFF {cycle}"
+        if sample.format == "mase" and index % 1500 == 1499:
+            yield f"0x{address:x} TRUNCATED_"
+        cycle += 1 + rng.randrange(sample.cycles_per_access)
+
+
+def sample_trace_path(name: str, directory: Path | None = None) -> Path:
+    """Where ``name``'s file lives (or will be generated).
+
+    Committed samples resolve into the package ``data/`` directory;
+    generated ones into ``directory`` (default :func:`trace_dir`).
+    """
+    sample = SAMPLE_TRACES.get(name)
+    if sample is None:
+        raise KeyError(
+            f"unknown sample trace {name!r} "
+            f"(known: {', '.join(sorted(SAMPLE_TRACES))})"
+        )
+    base = _DATA_DIR if sample.committed else (directory or trace_dir())
+    return base / f"{sample.name}.{sample.format}.gz"
+
+
+def ensure_sample_trace(
+    name: str, directory: Path | None = None, verify: bool = True
+) -> Path:
+    """Return the sample's path, generating the file if absent.
+
+    Generation is deterministic (seeded content, gzip mtime pinned to
+    zero) and, when the registry pins a hash, verified against it so a
+    generator/registry mismatch fails loudly.  ``verify=False`` skips
+    that check — only ``tools/gen_traces.py --pin`` wants it, while
+    refreshing stale pins.
+    """
+    sample = SAMPLE_TRACES[name] if name in SAMPLE_TRACES else None
+    if sample is None:
+        raise KeyError(
+            f"unknown sample trace {name!r} "
+            f"(known: {', '.join(sorted(SAMPLE_TRACES))})"
+        )
+    path = sample_trace_path(name, directory)
+    if path.exists():
+        return path
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    with open(tmp, "wb") as fh:
+        with gzip.GzipFile(filename="", mode="wb", fileobj=fh, mtime=0) as gz:
+            for line in synthesize_trace_lines(sample):
+                gz.write(line.encode("ascii") + b"\n")
+    os.replace(tmp, path)
+    if verify and sample.sha256:
+        from .source import trace_content_sha256
+
+        actual = trace_content_sha256(path)
+        if actual != sample.sha256:
+            raise ValueError(
+                f"generated sample {name} hashed {actual[:12]}..., "
+                f"registry pins {sample.sha256[:12]}... — "
+                "generator and registry are out of sync"
+            )
+    return path

@@ -5,10 +5,19 @@ the 8-core mix of Figure 9, the 16-core mixes of Figure 10, and the
 pseudo-random category-balanced samplers used for the aggregate results
 (100 4-core, 16 8-core and 12 16-core combinations in the paper; the
 counts are configurable here).
+
+Mixes are addressable by name through :data:`MIX_REGISTRY` /
+:func:`get_mix` (the CLI and campaign specs resolve strings through it),
+and the registry includes the ``tmix1``–``tmix7`` suite over the
+committed sample *trace* files: ``trace:<name>`` workload entries are
+real memory-access streams ingested by :mod:`repro.traces` rather than
+synthetic generators, laddered from all-intensive (``tmix1``) down to
+all-light (``tmix5``), plus a clone mix and a traced+synthetic hybrid.
 """
 
 from __future__ import annotations
 
+import difflib
 import random
 
 from .profiles import PROFILES, BenchmarkProfile, by_category, profile
@@ -19,8 +28,12 @@ __all__ = [
     "CASE_STUDY_3",
     "EIGHT_CORE_MIX",
     "FIG8_SAMPLE_MIXES",
+    "MIX_REGISTRY",
     "SIXTEEN_CORE_MIXES",
+    "TRACE_MIXES",
+    "UnknownMixError",
     "Workload",
+    "get_mix",
     "random_mixes",
 ]
 
@@ -120,3 +133,103 @@ def random_mixes(
         seen.add(key)
         mixes.append(workload)
     return mixes
+
+
+# -- named-mix registry -------------------------------------------------------
+
+# 4-core mixes over the committed sample trace files, laddered by memory
+# intensity: tmix1 = four memory hogs, tmix5 = four light threads, with
+# the rungs between mixing the two ends (the shape of the paper's Fig. 8
+# sample mixes, but over *real* ingested access streams).  tmix6 is four
+# clones of the nastiest trace (the Case-Study-III shape) and tmix7
+# composes traced and synthetic threads in one workload — the property
+# the trace front-end exists to provide.
+TRACE_MIXES: dict[str, Workload] = {
+    "tmix1": [
+        "trace:stream-hi",
+        "trace:chase-hi",
+        "trace:rowlocal-hi",
+        "trace:conflict-hi",
+    ],
+    "tmix2": [
+        "trace:stream-hi",
+        "trace:chase-hi",
+        "trace:rowlocal-hi",
+        "trace:conflict-lo",
+    ],
+    "tmix3": [
+        "trace:stream-hi",
+        "trace:chase-hi",
+        "trace:rowlocal-lo",
+        "trace:conflict-lo",
+    ],
+    "tmix4": [
+        "trace:stream-hi",
+        "trace:chase-lo",
+        "trace:rowlocal-lo",
+        "trace:conflict-lo",
+    ],
+    "tmix5": [
+        "trace:stream-lo",
+        "trace:chase-lo",
+        "trace:rowlocal-lo",
+        "trace:conflict-lo",
+    ],
+    "tmix6": ["trace:conflict-hi"] * 4,
+    "tmix7": ["trace:stream-hi", "trace:chase-lo", "mcf", "libquantum"],
+}
+
+
+def _build_registry() -> dict[str, Workload]:
+    registry: dict[str, Workload] = {
+        "case1": CASE_STUDY_1,
+        "case2": CASE_STUDY_2,
+        "case3": CASE_STUDY_3,
+        "eight-core": EIGHT_CORE_MIX,
+    }
+    for index, mix in enumerate(FIG8_SAMPLE_MIXES, start=1):
+        registry[f"fig8-{index}"] = mix
+    registry.update(SIXTEEN_CORE_MIXES)
+    registry.update(TRACE_MIXES)
+    return registry
+
+
+MIX_REGISTRY: dict[str, Workload] = _build_registry()
+
+
+class UnknownMixError(KeyError):
+    """An unregistered mix name, with did-you-mean suggestions.
+
+    ``KeyError.args[0]`` would quote-mangle a multi-line message, so the
+    human-readable text lives on :attr:`message` and ``str()`` returns it
+    verbatim.
+    """
+
+    def __init__(self, name: str) -> None:
+        suggestions = difflib.get_close_matches(
+            name, MIX_REGISTRY, n=3, cutoff=0.5
+        )
+        message = f"unknown mix {name!r}"
+        if suggestions:
+            message += f" — did you mean {', '.join(suggestions)}?"
+        message += (
+            f" (registered: {', '.join(sorted(MIX_REGISTRY))})"
+        )
+        super().__init__(name)
+        self.message = message
+
+    def __str__(self) -> str:
+        return self.message
+
+
+def get_mix(name: str) -> Workload:
+    """Look up a registered mix by name.
+
+    Raises :class:`UnknownMixError` — a :class:`KeyError` whose message
+    carries close-match suggestions — instead of a bare ``KeyError``
+    traceback, so CLI and spec errors read like diagnostics.
+    """
+    mix = MIX_REGISTRY.get(name)
+    if mix is None:
+        raise UnknownMixError(name)
+    return list(mix)

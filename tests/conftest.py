@@ -27,6 +27,9 @@ def _isolated_disk_cache(tmp_path_factory):
             "REPRO_TRACE_EVENTS",
             "REPRO_SAMPLE_INTERVAL",
             "REPRO_TRACE_PERFETTO",
+            # An inherited trace directory would make sample-trace tests
+            # read (or generate into) the user's files.
+            "REPRO_TRACE_DIR",
             # An inherited campaign store or cache bound would make tests
             # read/pollute the user's results or prune mid-suite.
             "REPRO_CAMPAIGN_DB",

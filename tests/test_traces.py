@@ -1,0 +1,338 @@
+"""Trace-ingestion subsystem: formats, decoding, sources, sample library.
+
+Covers the streaming front-end end to end: line parsers and format
+auto-detection, gzip/plain content identity, the O(1)-memory guarantee
+on a 100k+-line trace, address-decoder round-trips across presets, a
+golden pin of a committed sample's decoded stream, and the pacing /
+truncation semantics of :class:`TraceRequestSource`.
+"""
+
+from __future__ import annotations
+
+import gzip
+import random
+import tracemalloc
+
+import pytest
+
+from repro.dram.address import AddressMapping
+from repro.traces import (
+    DECODER_PRESETS,
+    AddressDecoder,
+    IngestStats,
+    SAMPLE_TRACES,
+    TraceFormatError,
+    TraceRecord,
+    TraceRequestSource,
+    detect_format,
+    ensure_sample_trace,
+    open_trace,
+    parse_decoder,
+    parse_k6_line,
+    parse_mase_line,
+    trace_content_sha256,
+)
+
+K6_LINES = """\
+# comment header
+0x7f4228 P_MEM_WR 186
+0x7f4290 P_MEM_RD 200
+0x0 BOFF 210
+0x7f42f0 P_FETCH 231
+not a trace line
+0x7f4300 P_LOCK_WR 245
+"""
+
+MASE_LINES = """\
+; mase comment
+0x1003f10 IFETCH 0
+0x1003f80 READ 12
+0x2000000 WRITE 30
+"""
+
+
+def write(tmp_path, name, text, compress=False):
+    path = tmp_path / name
+    if compress:
+        path.write_bytes(gzip.compress(text.encode()))
+    else:
+        path.write_text(text)
+    return path
+
+
+# -- line parsers -------------------------------------------------------------
+def test_parse_k6_line_kinds():
+    assert parse_k6_line("0x10 P_MEM_RD 5") == TraceRecord(0x10, False, 5)
+    assert parse_k6_line("0x10 P_MEM_WR 5") == TraceRecord(0x10, True, 5)
+    assert parse_k6_line("0x10 P_FETCH 5") == TraceRecord(0x10, False, 5)
+    assert parse_k6_line("0x10 P_LOCK_RD 5") == TraceRecord(0x10, False, 5)
+    assert parse_k6_line("0x10 P_LOCK_WR 5") == TraceRecord(0x10, True, 5)
+    # Access-free but valid K6 lines: None, not "skip".
+    assert parse_k6_line("0x0 BOFF 7") is None
+    assert parse_k6_line("0x0 P_INT_ACK 7") is None
+
+
+def test_parse_mase_line_kinds():
+    assert parse_mase_line("0x10 READ 5") == TraceRecord(0x10, False, 5)
+    assert parse_mase_line("0x10 IFETCH 5") == TraceRecord(0x10, False, 5)
+    assert parse_mase_line("0x10 WRITE 5") == TraceRecord(0x10, True, 5)
+
+
+@pytest.mark.parametrize(
+    "line",
+    [
+        "garbage",
+        "0x10 P_MEM_RD",  # missing cycle
+        "0x10 NOPE 5",  # unknown op
+        "zz P_MEM_RD 5",  # bad address
+        "0x10 P_MEM_RD five",  # bad cycle
+        "0x10 P_MEM_RD -5",  # negative cycle
+    ],
+)
+def test_parse_k6_line_rejects(line):
+    assert parse_k6_line(line) == "skip"
+
+
+def test_detect_format_disjoint_vocabularies():
+    assert detect_format(["# c", "0x10 P_MEM_RD 5"]) == "k6"
+    assert detect_format(["0x10 READ 5"]) == "mase"
+    with pytest.raises(TraceFormatError):
+        detect_format(["# only", "; comments"])
+
+
+# -- streaming reader ---------------------------------------------------------
+def test_open_trace_k6_plain(tmp_path):
+    path = write(tmp_path, "t.k6", K6_LINES)
+    stats = IngestStats()
+    records = list(open_trace(path, stats=stats))
+    assert stats.format == "k6"
+    assert [r.is_write for r in records] == [True, False, False, True]
+    assert stats.records == 4
+    assert stats.lines_skipped == 1  # "not a trace line"
+    assert stats.lines_read == 7
+
+
+def test_open_trace_gzip_by_content_not_name(tmp_path):
+    # Gzip detection is by magic bytes: the name says nothing.
+    path = write(tmp_path, "t.mase", MASE_LINES, compress=True)
+    records = list(open_trace(path))
+    assert len(records) == 3
+    assert records[2] == TraceRecord(0x2000000, True, 30)
+
+
+def test_open_trace_explicit_format_skips_other_vocabulary(tmp_path):
+    path = write(tmp_path, "t.k6", K6_LINES)
+    stats = IngestStats()
+    assert list(open_trace(path, format="mase", stats=stats)) == []
+    assert stats.lines_skipped == 6  # every k6 line is noise to mase
+
+
+def test_open_trace_rejects_unknown_format(tmp_path):
+    path = write(tmp_path, "t.k6", K6_LINES)
+    with pytest.raises(TraceFormatError):
+        list(open_trace(path, format="dramsim3"))
+
+
+def test_open_trace_undetectable_raises(tmp_path):
+    path = write(tmp_path, "noise.txt", "# nothing\n; here\n")
+    with pytest.raises(TraceFormatError):
+        list(open_trace(path))
+
+
+def test_content_hash_identical_plain_vs_gzip(tmp_path):
+    plain = write(tmp_path, "a.k6", K6_LINES)
+    gzipped = write(tmp_path, "b.k6.gz", K6_LINES, compress=True)
+    assert trace_content_sha256(plain) == trace_content_sha256(gzipped)
+
+
+# -- address decoding ---------------------------------------------------------
+@pytest.mark.parametrize(
+    "preset", ["paper", "dramsim2", "channel-interleave", "bank-low"]
+)
+def test_decoder_round_trip_property(preset):
+    decoder = DECODER_PRESETS[preset]
+    rng = random.Random(0xDEC0DE)
+    for _ in range(500):
+        address = rng.getrandbits(rng.randint(8, 40)) << decoder.offset_bits
+        decoded = decoder.decode(address)
+        assert decoder.encode(**decoded._asdict()) == address
+    # And the other direction: random in-range coordinates survive.
+    for _ in range(200):
+        coords = {
+            field: rng.randrange(1 << bits) for field, bits in decoder.fields
+        }
+        assert decoder.decode(decoder.encode(**coords))._asdict() == {
+            f: coords.get(f, 0)
+            for f in ("channel", "rank", "bank", "row", "column")
+        }
+
+
+def test_decoder_encode_validates():
+    decoder = DECODER_PRESETS["dramsim2"]  # row:14,rank:1,bank:3,column:4
+    with pytest.raises(ValueError):
+        decoder.encode(bank=8, row=1)  # 8 does not fit 3 bits
+    with pytest.raises(ValueError):
+        decoder.encode(channel=1)  # layout has no channel field
+    # The MSB field may overflow upward, mirroring decode.
+    big = decoder.encode(row=1 << 20)
+    assert decoder.decode(big).row == 1 << 20
+
+
+def test_decoder_spec_round_trip():
+    decoder = parse_decoder("row=14,rank=1,bank=3,column=4")
+    assert decoder.fields == DECODER_PRESETS["dramsim2"].fields
+    assert parse_decoder(decoder.spec()).fields == decoder.fields
+    with pytest.raises(ValueError):
+        parse_decoder("no-such-preset")
+    with pytest.raises(ValueError):
+        parse_decoder("row=fourteen")
+    with pytest.raises(ValueError):
+        AddressDecoder(fields=(("row", 4), ("row", 4)))
+
+
+def test_map_to_folds_ranks_into_rows():
+    decoder = DECODER_PRESETS["dramsim2"]
+    mapping = AddressMapping()  # 8 banks, single channel
+    raw = decoder.encode(row=37, rank=1, bank=5, column=3)
+    byte_addr = decoder.map_to(mapping, raw)
+    coords = mapping.map(byte_addr)
+    # flat bank 1*8+5=13 -> bank 5 with a carry into the row; 16 source
+    # banks over 8 target banks scale rows by 2.
+    assert coords.bank == 13 % mapping.num_banks == 5
+    assert coords.row == 37 * 2 + 13 // mapping.num_banks == 75
+    assert coords.column == 3
+
+
+def test_golden_decoded_stream_for_committed_sample():
+    """Pin the decoded prefix of a committed sample: any change to the
+    parser, the generator, or the dramsim2 preset shows up here."""
+    decoder = DECODER_PRESETS["dramsim2"]
+    golden = [
+        (0xC0E6C00, 0, 0, (0, 1, 3, 12345, 0)),
+        (0x8A56180, 1, 29, (0, 1, 0, 8853, 6)),
+        (0x7F56200, 1, 52, (0, 1, 0, 8149, 8)),
+        (0xAF44E40, 0, 61, (0, 0, 3, 11217, 9)),
+        (0x95E6080, 0, 80, (0, 1, 0, 9593, 2)),
+        (0x27E2C40, 0, 86, (0, 1, 3, 2552, 1)),
+        (0xFC9FEC0, 0, 94, (0, 1, 7, 16167, 11)),
+        (0x1D44B80, 1, 100, (0, 0, 2, 1873, 14)),
+    ]
+    records = open_trace(ensure_sample_trace("chase-hi"))
+    for address, is_write, cycle, coords in golden:
+        record = next(records)
+        assert record == TraceRecord(address, bool(is_write), cycle)
+        decoded = decoder.decode(record.address)
+        assert tuple(decoded) == coords
+    records.close()
+
+
+# -- request source -----------------------------------------------------------
+def test_source_pacing_and_gap_cap(tmp_path):
+    path = write(
+        tmp_path,
+        "t.mase",
+        "0x40 READ 100\n0x80 WRITE 110\n0xc0 READ 999999\n",
+    )
+    entries = list(TraceRequestSource(path, decoder="paper"))
+    assert [e.gap for e in entries] == [0, 10, 2048]  # first 0; huge capped
+    assert [e.is_write for e in entries] == [False, True, False]
+    half = list(TraceRequestSource(path, decoder="paper", pacing=0.5))
+    assert [e.gap for e in half] == [0, 5, 2048]
+
+
+def test_source_truncation_flag_is_exact(tmp_path):
+    path = write(
+        tmp_path, "t.mase", "".join(f"0x{i * 64:x} READ {i}\n" for i in range(5))
+    )
+    source = TraceRequestSource(path, decoder="paper")
+    stats = IngestStats()
+    assert len(list(source.entries(max_requests=3, stats=stats))) == 3
+    assert stats.truncated
+    stats = IngestStats()
+    # Exactly the file's record count: consumed fully, NOT truncated.
+    assert len(list(source.entries(max_requests=5, stats=stats))) == 5
+    assert not stats.truncated
+
+
+def test_source_instruction_budget_stop(tmp_path):
+    path = write(
+        tmp_path, "t.mase", "".join(f"0x{i * 64:x} READ {i * 10}\n" for i in range(100))
+    )
+    trace = TraceRequestSource(path, decoder="paper").materialize(
+        max_instructions=55
+    )
+    # Entries cost gap+1 instructions: 1, 11, 11, ... -> 5 fit in 55.
+    assert len(trace.entries) == 5
+    assert trace.ingest.truncated
+    assert trace.ingest.requests_read == 5
+
+
+def test_source_materialize_carries_ingest_stats(tmp_path):
+    path = write(tmp_path, "t.k6", K6_LINES)
+    trace = TraceRequestSource(path, decoder="paper", name="th0").materialize()
+    assert trace.name == "th0"
+    assert trace.ingest.requests_read == 4
+    assert trace.ingest.lines_skipped == 1
+    assert not trace.ingest.truncated
+
+
+def test_source_rejects_bad_knobs(tmp_path):
+    path = write(tmp_path, "t.k6", K6_LINES)
+    with pytest.raises(ValueError):
+        TraceRequestSource(path, pacing=-1)
+    with pytest.raises(ValueError):
+        TraceRequestSource(path, gap_cap=-1)
+
+
+# -- O(1) memory guarantee ----------------------------------------------------
+def test_hundred_k_line_gzip_streams_in_constant_memory(tmp_path):
+    """A 100k+-line gzip trace must stream through TraceRequestSource
+    without resident memory scaling with its length."""
+    sample = SAMPLE_TRACES["stream-100k"]
+    assert not sample.committed and sample.lines >= 100_000
+    path = ensure_sample_trace("stream-100k", directory=tmp_path)
+    source = TraceRequestSource(path)
+    tracemalloc.start()
+    try:
+        stats = source.scan()
+        _current, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    assert stats.records >= 100_000
+    assert not stats.truncated
+    # The decompressed stream is megabytes; the reader holds one record
+    # plus fixed decode buffers.  A generous ceiling still catches any
+    # accidental read()/readlines()/accumulation regression.
+    assert peak < 2_000_000, f"streaming reader peaked at {peak} bytes"
+
+
+# -- sample library -----------------------------------------------------------
+def test_sample_generation_is_deterministic(tmp_path):
+    a = ensure_sample_trace("stream-hi", directory=tmp_path / "a")
+    b = ensure_sample_trace("stream-hi", directory=tmp_path / "b")
+    assert a.read_bytes() == b.read_bytes()
+
+
+def test_committed_samples_match_pinned_hashes():
+    for name, sample in SAMPLE_TRACES.items():
+        if not sample.committed:
+            continue
+        path = ensure_sample_trace(name)  # verifies the pin itself
+        assert trace_content_sha256(path) == sample.sha256
+
+
+def test_mpki_ladder_hi_vs_lo():
+    """The -hi rungs must be markedly more memory-intensive (smaller
+    inter-request gaps) than the -lo rungs — that is the ladder."""
+
+    def mean_gap(name):
+        entries = TraceRequestSource(ensure_sample_trace(name)).materialize().entries
+        return sum(e.gap for e in entries) / len(entries)
+
+    assert mean_gap("stream-hi") * 5 < mean_gap("stream-lo")
+    assert mean_gap("conflict-hi") * 5 < mean_gap("conflict-lo")
+
+
+def test_unknown_sample_name():
+    with pytest.raises(KeyError):
+        ensure_sample_trace("no-such-sample")

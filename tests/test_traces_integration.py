@@ -1,0 +1,359 @@
+"""Traced workloads through the runner, campaign layer and CLI.
+
+The load-bearing property everywhere here is *content addressing*: a
+trace's identity is the SHA-256 of its decompressed bytes plus the
+decoder layout, never its path or alias — so job keys, campaign
+fingerprints and stored results survive renames, moves and
+recompression, while any content change re-simulates.
+"""
+
+from __future__ import annotations
+
+import shutil
+
+import pytest
+
+from repro.__main__ import main
+from repro.campaign.manifest import build_manifest
+from repro.campaign.spec import load_spec, spec_from_dict
+from repro.config import baseline_system
+from repro.metrics.summary import ThreadResult
+from repro.sim.runner import ExperimentRunner
+from repro.traces import ensure_sample_trace, trace_content_sha256
+from repro.workloads.mixes import TRACE_MIXES, UnknownMixError, get_mix
+
+INSTR = 3000
+
+
+def spec_dict(**overrides):
+    base = {
+        "name": "traced",
+        "schedulers": ["PAR-BS"],
+        "num_cores": [4],
+        "mix_count": 0,
+        "seeds": [0],
+        "instructions": INSTR,
+        "mixes": [["trace:stream-hi", "trace:chase-lo", "mcf", "libquantum"]],
+    }
+    base.update(overrides)
+    return base
+
+
+# -- mixes registry -----------------------------------------------------------
+def test_trace_mix_suite_registered():
+    for name in ("tmix1", "tmix2", "tmix3", "tmix4", "tmix5", "tmix6", "tmix7"):
+        mix = get_mix(name)
+        assert len(mix) == 4
+        assert mix == list(TRACE_MIXES[name])
+    assert all(b.startswith("trace:") for b in get_mix("tmix1"))
+    assert any(not b.startswith("trace:") for b in get_mix("tmix7"))
+
+
+def test_get_mix_returns_a_copy():
+    get_mix("tmix1").append("mutated")
+    assert "mutated" not in get_mix("tmix1")
+
+
+def test_get_mix_unknown_suggests_and_is_a_keyerror():
+    with pytest.raises(UnknownMixError) as exc_info:
+        get_mix("tmix11")
+    message = str(exc_info.value)
+    assert "did you mean" in message
+    assert "tmix1" in message
+    # Callers that catch plain KeyError keep working.
+    with pytest.raises(KeyError):
+        get_mix("fig8_1")
+
+
+# -- runner -------------------------------------------------------------------
+def test_canonical_workload_is_identity_for_synthetic():
+    runner = ExperimentRunner(baseline_system(4), instructions=INSTR)
+    names = ["mcf", "libquantum", "omnetpp", "hmmer"]
+    assert runner.canonical_workload(names) == names
+
+
+def test_job_key_survives_rename_and_recompression(tmp_path):
+    sample = ensure_sample_trace("stream-hi")
+    moved = tmp_path / "totally-different-name.bin"
+    shutil.copy(sample, moved)
+
+    by_name = ExperimentRunner(baseline_system(2), instructions=INSTR)
+    by_alias = ExperimentRunner(
+        baseline_system(2),
+        instructions=INSTR,
+        trace_files={"myapp": str(moved)},
+    )
+    workload = ["trace:stream-hi", "mcf"]
+    aliased = ["trace:myapp", "mcf"]
+    assert by_name.canonical_workload(workload) == by_alias.canonical_workload(
+        aliased
+    )
+    # A different decoder is a different simulation.
+    other = ExperimentRunner(
+        baseline_system(2), instructions=INSTR, decoder="paper"
+    )
+    assert by_name.canonical_workload(workload) != other.canonical_workload(
+        workload
+    )
+
+
+def test_unknown_trace_entry_raises_with_known_names():
+    runner = ExperimentRunner(baseline_system(2), instructions=INSTR)
+    with pytest.raises(ValueError, match="stream-hi"):
+        runner.resolve_trace("trace:no-such-trace")
+
+
+def test_traced_mix_bit_identical_under_verify_backend():
+    """Traced threads flow through the same python/fast compare path as
+    synthetic ones; verify raises on the first divergence."""
+    runner = ExperimentRunner(
+        baseline_system(4), instructions=INSTR, backend="verify"
+    )
+    result = runner.run_workload(get_mix("tmix7"), "PAR-BS")
+    traced = [t for t in result.threads if t.benchmark.startswith("trace:")]
+    assert len(traced) == 2
+    for thread in traced:
+        assert thread.requests_read > 0
+
+
+def _thread_result(**overrides):
+    base = dict(
+        thread_id=0,
+        benchmark="mcf",
+        ipc_shared=0.5,
+        ipc_alone=1.0,
+        mcpi_shared=2.0,
+        mcpi_alone=1.0,
+        ast_per_req=100.0,
+        blp_shared=1.5,
+        blp_alone=2.0,
+        row_hit_rate=0.5,
+        worst_latency=100,
+    )
+    base.update(overrides)
+    return ThreadResult(**base)
+
+
+def test_thread_result_describe_shows_ingest_provenance():
+    assert "trace[" not in _thread_result().describe()
+    traced = _thread_result(
+        benchmark="trace:x", requests_read=982, lines_skipped=3, truncated=True
+    )
+    assert "trace[reqs=982 skipped=3 truncated]" in traced.describe()
+    untruncated = _thread_result(benchmark="trace:x", requests_read=7)
+    text = untruncated.describe()
+    assert "trace[reqs=7 skipped=0]" in text and "truncated" not in text
+
+
+# -- campaign specs -----------------------------------------------------------
+def test_spec_accepts_registered_trace_mix_names():
+    spec = spec_from_dict(spec_dict(mixes=["tmix2"]))
+    assert spec.mixes == (tuple(TRACE_MIXES["tmix2"]),)
+
+
+def test_spec_rejects_undeclared_trace_alias():
+    with pytest.raises(ValueError, match="unknown traces"):
+        spec_from_dict(spec_dict(mixes=[["trace:undeclared"] * 4]))
+
+
+def test_spec_verifies_pinned_hash(tmp_path):
+    sample = ensure_sample_trace("stream-hi")
+    local = tmp_path / "app.gz"
+    shutil.copy(sample, local)
+    good = trace_content_sha256(local)
+    spec = spec_from_dict(
+        spec_dict(
+            mixes=[["trace:myapp"] * 4],
+            trace_files={"myapp": {"path": str(local), "sha256": good}},
+        )
+    )
+    assert spec.trace_hashes()["myapp"] == good
+    with pytest.raises(ValueError, match="does not match"):
+        spec_from_dict(
+            spec_dict(
+                mixes=[["trace:myapp"] * 4],
+                trace_files={"myapp": {"path": str(local), "sha256": "0" * 64}},
+            )
+        )
+    with pytest.raises(ValueError, match="not found"):
+        spec_from_dict(
+            spec_dict(
+                mixes=[["trace:myapp"] * 4],
+                trace_files={"myapp": str(tmp_path / "gone.gz")},
+            )
+        )
+
+
+def test_job_keys_and_fingerprint_are_path_independent(tmp_path):
+    sample = ensure_sample_trace("stream-hi")
+    here = tmp_path / "here.gz"
+    there = tmp_path / "elsewhere" / "renamed.gz"
+    there.parent.mkdir()
+    shutil.copy(sample, here)
+    shutil.copy(sample, there)
+
+    def make(path):
+        return spec_from_dict(
+            spec_dict(
+                mixes=[["trace:myapp", "trace:chase-lo", "mcf", "libquantum"]],
+                trace_files={"myapp": str(path)},
+            )
+        )
+
+    a, b = make(here), make(there)
+    assert a.fingerprint() == b.fingerprint()
+    assert [j.key for j in a.expand()] == [j.key for j in b.expand()]
+    # The alias and the sample name address the same bytes -> same keys.
+    by_name = spec_from_dict(spec_dict())
+    assert [j.key for j in by_name.expand()] == [j.key for j in a.expand()]
+    # ... but the campaign fingerprint reflects the spec text (different
+    # alias), which is what campaign stores group rows by.
+    assert by_name.fingerprint() != a.fingerprint()
+
+
+def test_job_key_changes_with_content_and_decoder(tmp_path):
+    sample = ensure_sample_trace("stream-hi")
+    local = tmp_path / "app.gz"
+    shutil.copy(sample, local)
+    base = spec_from_dict(
+        spec_dict(mixes=[["trace:myapp"] * 4], trace_files={"myapp": str(local)})
+    )
+    other_decoder = spec_from_dict(
+        spec_dict(
+            mixes=[["trace:myapp"] * 4],
+            trace_files={"myapp": str(local)},
+            decoder="paper",
+        )
+    )
+    assert base.expand()[0].key != other_decoder.expand()[0].key
+    different = tmp_path / "other.gz"
+    shutil.copy(ensure_sample_trace("chase-lo"), different)
+    changed = spec_from_dict(
+        spec_dict(
+            mixes=[["trace:myapp"] * 4], trace_files={"myapp": str(different)}
+        )
+    )
+    assert base.expand()[0].key != changed.expand()[0].key
+
+
+def test_spec_to_dict_round_trips_traces(tmp_path):
+    sample = ensure_sample_trace("stream-hi")
+    local = tmp_path / "app.gz"
+    shutil.copy(sample, local)
+    spec = spec_from_dict(
+        spec_dict(mixes=[["trace:myapp"] * 4], trace_files={"myapp": str(local)})
+    )
+    again = spec_from_dict(spec.to_dict())
+    assert again == spec
+    assert again.fingerprint() == spec.fingerprint()
+    # Untraced specs serialize without the trace keys at all, keeping
+    # pre-existing fingerprints byte-identical.
+    untraced = spec_from_dict(
+        spec_dict(mixes=[["mcf", "libquantum", "omnetpp", "hmmer"]])
+    )
+    data = untraced.to_dict()
+    assert "trace_files" not in data and "decoder" not in data
+
+
+def test_manifest_records_trace_hashes():
+    spec = spec_from_dict(spec_dict())
+    manifest = build_manifest(spec, environ={"REPRO_TRACE_DIR": "/tmp/t"})
+    assert manifest["trace_files"] == {
+        "stream-hi": trace_content_sha256(ensure_sample_trace("stream-hi")),
+        "chase-lo": trace_content_sha256(ensure_sample_trace("chase-lo")),
+    }
+    assert manifest["decoder"] == "dramsim2"
+    assert manifest["env"]["REPRO_TRACE_DIR"] == "/tmp/t"
+    untraced = spec_from_dict(
+        spec_dict(mixes=[["mcf", "libquantum", "omnetpp", "hmmer"]])
+    )
+    assert "trace_files" not in build_manifest(untraced, environ={})
+
+
+def test_example_traces_spec_loads():
+    spec = load_spec("examples/campaign_traces.toml")
+    assert spec.trace_hashes()
+    assert len(spec.expand()) == 4
+
+
+# -- campaign run/resume ------------------------------------------------------
+def test_campaign_resumes_traced_jobs_across_rename(tmp_path):
+    from repro.campaign.orchestrator import run_campaign
+    from repro.campaign.store import ResultStore
+
+    sample = ensure_sample_trace("stream-hi")
+    first = tmp_path / "first.gz"
+    shutil.copy(sample, first)
+    db = tmp_path / "store.db"
+
+    def run(path):
+        spec = spec_from_dict(
+            spec_dict(
+                mixes=[["trace:app", "trace:chase-lo", "mcf", "libquantum"]],
+                trace_files={"app": str(path)},
+            )
+        )
+        with ResultStore(db) as store:
+            return run_campaign(spec, store)
+
+    stats = run(first)
+    assert stats.ran == 1 and stats.failed == 0
+    # Rename the file: content identity keeps every stored job.
+    renamed = tmp_path / "renamed.gz"
+    first.rename(renamed)
+    stats = run(renamed)
+    assert stats.ran == 0 and stats.skipped == 1
+
+
+# -- CLI ----------------------------------------------------------------------
+def test_cli_trace_info_and_decode(capsys, tmp_path):
+    path = ensure_sample_trace("stream-hi")
+    assert main(["trace", "info", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "format=k6" in out and "sha256=" in out
+    assert main(["trace", "decode", str(path), "--limit", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "decoder: row=14,rank=1,bank=3,column=4" in out
+    assert out.count("cycle=") == 2
+
+
+def test_cli_trace_gen(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path))
+    assert main(["trace", "gen", "stream-lo"]) == 0
+    assert "stream-lo" in capsys.readouterr().out
+    assert main(["trace", "gen", "bogus"]) == 2
+    assert "unknown sample trace" in capsys.readouterr().err
+
+
+def test_cli_trace_run_mix_typo_exits_cleanly(capsys):
+    assert main(["trace", "run", "--mix", "tmxi1"]) == 2
+    err = capsys.readouterr().err
+    assert "did you mean" in err and "tmix1" in err
+
+
+def test_cli_trace_run_argument_validation(capsys):
+    assert main(["trace", "run"]) == 2
+    assert "nothing to run" in capsys.readouterr().err
+    assert main(["trace", "run", "--mix", "tmix1", "mcf"]) == 2
+    assert "not both" in capsys.readouterr().err
+    assert main(["trace", "run", "--trace-file", "nopath", "mcf", "mcf"]) == 2
+    assert "ALIAS=PATH" in capsys.readouterr().err
+
+
+def test_cli_trace_run_traced_workload(capsys):
+    assert (
+        main(
+            [
+                "--instructions",
+                str(INSTR),
+                "trace",
+                "run",
+                "trace:stream-hi",
+                "mcf",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "trace:stream-hi" in out
+    assert "trace[reqs=" in out

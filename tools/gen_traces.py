@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Regenerate (and optionally re-pin) the committed sample traces.
+
+The sample trace files under ``src/repro/traces/data/`` are a pure
+function of the :data:`repro.traces.library.SAMPLE_TRACES` registry —
+seeded content, gzip mtime pinned to zero — so this tool can rebuild
+them byte-for-byte at any time.  Run it after changing the registry or
+the generator, then commit both the files and the refreshed hash pins::
+
+    PYTHONPATH=src python tools/gen_traces.py --pin
+
+``--check`` instead verifies every committed file on disk against its
+pinned hash and exits non-zero on drift (used by the trace-smoke CI
+job).
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.traces.library import (  # noqa: E402
+    SAMPLE_TRACES,
+    ensure_sample_trace,
+    sample_trace_path,
+)
+from repro.traces.source import trace_content_sha256  # noqa: E402
+
+LIBRARY_PY = Path(__file__).resolve().parents[1] / "src/repro/traces/library.py"
+
+
+def regenerate(
+    names: list[str], force: bool, verify: bool = True
+) -> dict[str, str]:
+    hashes: dict[str, str] = {}
+    for name in names:
+        path = sample_trace_path(name)
+        if force and path.exists():
+            path.unlink()
+        path = ensure_sample_trace(name, verify=verify)
+        hashes[name] = trace_content_sha256(path)
+        print(f"{name:>14}  {hashes[name]}  {path.name}")
+    return hashes
+
+
+def pin(hashes: dict[str, str]) -> None:
+    """Rewrite the ``sha256=`` pins in library.py's registry literals."""
+    text = LIBRARY_PY.read_text()
+    for name, digest in hashes.items():
+        pattern = re.compile(
+            r'(SampleTrace\(\s*"%s",[^)]*?)(?:,\s*sha256="[0-9a-f]*")?\s*\)'
+            % re.escape(name),
+            re.DOTALL,
+        )
+        replacement = r'\1, sha256="%s")' % digest
+        text, count = pattern.subn(replacement, text)
+        if count != 1:
+            raise SystemExit(f"could not pin {name} in {LIBRARY_PY}")
+    LIBRARY_PY.write_text(text)
+    print(f"pinned {len(hashes)} hash(es) into {LIBRARY_PY}")
+
+
+def check(names: list[str]) -> int:
+    bad = 0
+    for name in names:
+        sample = SAMPLE_TRACES[name]
+        path = sample_trace_path(name)
+        if not path.exists():
+            print(f"{name:>14}  MISSING  {path}")
+            bad += 1
+            continue
+        actual = trace_content_sha256(path)
+        if sample.sha256 and actual != sample.sha256:
+            print(f"{name:>14}  DRIFT  {actual} != pinned {sample.sha256}")
+            bad += 1
+        else:
+            print(f"{name:>14}  ok  {actual}")
+    return bad
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("names", nargs="*", help="samples (default: committed)")
+    parser.add_argument(
+        "--all", action="store_true", help="include non-committed samples"
+    )
+    parser.add_argument(
+        "--force", action="store_true", help="regenerate even if present"
+    )
+    parser.add_argument(
+        "--pin", action="store_true", help="rewrite sha256 pins in library.py"
+    )
+    parser.add_argument(
+        "--check", action="store_true", help="verify files against pins"
+    )
+    args = parser.parse_args(argv)
+
+    names = args.names or [
+        n
+        for n, s in SAMPLE_TRACES.items()
+        if s.committed or args.all
+    ]
+    for name in names:
+        if name not in SAMPLE_TRACES:
+            parser.error(
+                f"unknown sample {name!r} "
+                f"(known: {', '.join(sorted(SAMPLE_TRACES))})"
+            )
+
+    if args.check:
+        return 1 if check(names) else 0
+    # When re-pinning, the on-file pins may be stale by construction, so
+    # skip the generator/registry cross-check until the pins are rewritten.
+    hashes = regenerate(names, force=args.force, verify=not args.pin)
+    if args.pin:
+        pin({n: h for n, h in hashes.items() if SAMPLE_TRACES[n].committed})
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
