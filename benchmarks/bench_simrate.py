@@ -425,6 +425,61 @@ def test_metrics_probe_overhead_within_gate() -> None:
     )
 
 
+def test_progress_hook_overhead_within_gate() -> None:
+    """The work-queue heartbeat hook must be invisible to the hot path.
+
+    Lease heartbeats ride the simulator's existing watchdog checkpoint:
+    with no hook installed the added cost is one module-global ``None``
+    test every ``_WATCHDOG_CHECK_EVENTS`` processed events, and with a
+    hook installed the callback fires at that same checkpoint cadence —
+    never per event.  Both runs must do bit-identical simulated work
+    (the hook observes, it cannot steer) and stay inside the standard
+    20% regression gate; a long enough run must actually fire the hook.
+    """
+    from repro.sim import pool
+    from repro.sim.system import _WATCHDOG_CHECK_EVENTS
+
+    baseline = json.loads(BASELINE_PATH.read_text())
+    ref = baseline["backends"]["python"]["schedulers"]["PAR-BS"]
+    instructions = baseline["instructions_per_thread"]
+
+    def best_of(repeats: int) -> dict:
+        best: dict | None = None
+        for _ in range(repeats):
+            result = measure("PAR-BS", instructions, baseline["seed"])
+            if best is None or result["events_per_sec"] > best["events_per_sec"]:
+                best = result
+        return best
+
+    unhooked = best_of(3)
+    ticks: list[int] = []
+    with pool.sim_progress(ticks.append):
+        hooked = best_of(3)
+    # Hooked and unhooked do identical simulated work, matching baseline.
+    for key in ("events", "events_processed", "events_elided", "sim_cycles"):
+        assert hooked[key] == unhooked[key], (
+            f"{key} drifted with a progress hook installed — the hook is "
+            "doing work beyond observing"
+        )
+    assert unhooked["events"] == ref["events"]
+    assert unhooked["sim_cycles"] == ref["sim_cycles"]
+    # The callback fires once per watchdog checkpoint, no more.
+    assert len(ticks) == 3 * (hooked["events"] // _WATCHDOG_CHECK_EVENTS)
+    # Hooked throughput stays inside the standard 20% gate.
+    floor = ref["events_per_sec"] * 0.8
+    assert hooked["events_per_sec"] >= floor, (
+        f"{hooked['events_per_sec']:.0f} events/sec under progress-hook "
+        f"floor {floor:.0f}"
+    )
+    # And a run past the checkpoint interval genuinely heartbeats.
+    watchdog_instructions = _WATCHDOG_CHECK_EVENTS
+    ticks.clear()
+    with pool.sim_progress(ticks.append):
+        long_run = measure("PAR-BS", watchdog_instructions, baseline["seed"])
+    assert long_run["events"] >= _WATCHDOG_CHECK_EVENTS
+    assert ticks, "progress hook never fired past the watchdog interval"
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--scheduler", default="PAR-BS")

@@ -63,7 +63,7 @@ _EXPERIMENTS = """Available experiments (paper artifact -> command):
   Figure 14  python -m repro priorities
 
 Infrastructure:
-  Campaigns  python -m repro campaign run|status|resume|watch|report|export SPEC
+  Campaigns  python -m repro campaign run|work|status|resume|watch|report|export SPEC
   Traces     python -m repro trace info|decode|gen|run
   Cache      python -m repro cache stats|prune|clear"""
 
@@ -201,6 +201,78 @@ def _build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="print the expanded grid summary and exit",
         )
+    workp = csub.add_parser(
+        "work",
+        help="drain jobs from a shared store as one distributed worker",
+    )
+    workp.add_argument(
+        "spec",
+        nargs="?",
+        default=None,
+        help="campaign spec file (.toml or .json); omit with --fingerprint",
+    )
+    workp.add_argument("--db", default=None, help="shared result store path")
+    workp.add_argument(
+        "--fingerprint",
+        metavar="FP",
+        default=None,
+        help="drain the already-registered campaign with this fingerprint "
+        "(unique prefix accepted; spec comes from the store)",
+    )
+    workp.add_argument(
+        "--jobs", type=int, default=1, help="local pool processes (default 1)"
+    )
+    workp.add_argument(
+        "--lease",
+        type=float,
+        metavar="S",
+        default=None,
+        help="lease duration in seconds (default: REPRO_LEASE_S, 30)",
+    )
+    workp.add_argument(
+        "--heartbeat",
+        type=float,
+        metavar="S",
+        default=None,
+        help="heartbeat renewal period (default: REPRO_HEARTBEAT_S, lease/3)",
+    )
+    workp.add_argument("--retries", type=int, default=2)
+    workp.add_argument(
+        "--poll",
+        type=float,
+        metavar="S",
+        default=0.5,
+        help="idle poll period while peers hold every remaining lease",
+    )
+    workp.add_argument(
+        "--worker-id", default=None, help="queue identity (default: generated)"
+    )
+    workp.add_argument(
+        "--max-jobs",
+        type=int,
+        default=None,
+        help="resolve at most N jobs, then exit",
+    )
+    workp.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="exit once every remaining job is leased to a live peer "
+        "(default: wait for the campaign to settle)",
+    )
+    workp.add_argument(
+        "--chaos",
+        metavar="SPEC",
+        default=None,
+        help="fault-injection plan (adds leasekill=/hbfreeze= lease faults)",
+    )
+    workp.add_argument(
+        "--job-timeout",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="no-progress timeout for pool workers "
+        "(default: REPRO_JOB_TIMEOUT_S)",
+    )
     watchp = csub.add_parser(
         "watch", help="live progress: counts, rate/ETA, merged metrics"
     )
@@ -464,6 +536,9 @@ def _dispatch_campaign(args: argparse.Namespace, instructions: int | None) -> in
                 )
         return 0
 
+    if args.action == "work":
+        return _campaign_work(args)
+
     spec = load_spec(args.spec)
     if instructions is not None:
         # --instructions overrides the spec file's value (same precedence
@@ -526,6 +601,67 @@ def _dispatch_campaign(args: argparse.Namespace, instructions: int | None) -> in
         elif args.action == "export":
             _emit(export_text(spec, store, fmt=args.format), args.out)
     return 0
+
+
+def _campaign_work(args: argparse.Namespace) -> int:
+    """``campaign work``: one distributed worker draining a shared store.
+
+    Unlike ``campaign run`` (which registers the grid and owns the whole
+    drain), ``work`` is a peer: N invocations against the same ``--db``
+    split the campaign's jobs through the lease queue, heartbeat while
+    simulating, and reclaim leases from peers that died.  The spec comes
+    from a file or — for workers that only have the store — from the
+    registered campaign row via ``--fingerprint``.
+    """
+    from .campaign import ResultStore, drain_campaign, load_spec
+
+    if (args.spec is None) == (args.fingerprint is None):
+        print(
+            "campaign work: pass a spec file or --fingerprint (not both)",
+            file=sys.stderr,
+        )
+        return 2
+    chaos = None
+    if args.chaos is not None:
+        from .guard.chaos import ChaosPlan
+
+        chaos = ChaosPlan.parse(args.chaos)
+        # Resolved plan (marker dir pinned) so pool workers share the
+        # same once-only fault markers — mirrors ``campaign run``.
+        os.environ["REPRO_CHAOS"] = chaos.spec()
+    with ResultStore(args.db) as store:
+        if args.fingerprint is not None:
+            try:
+                spec = store.spec_for(args.fingerprint)
+            except KeyError as exc:
+                print(f"campaign work: {exc}", file=sys.stderr)
+                return 2
+        else:
+            spec = load_spec(args.spec)
+        store.chaos = chaos
+        stats = drain_campaign(
+            spec,
+            store,
+            worker_id=args.worker_id,
+            jobs=args.jobs,
+            lease_s=args.lease,
+            heartbeat_s=args.heartbeat,
+            poll_s=args.poll,
+            retries=args.retries,
+            job_timeout_s=args.job_timeout,
+            chaos=chaos,
+            hard_kill=True,
+            wait_for_peers=not args.no_wait,
+            max_jobs=args.max_jobs,
+        )
+    print(
+        f"worker {stats.worker_id}: claimed={stats.claimed} "
+        f"completed={stats.completed} failed={stats.failed} "
+        f"retried={stats.retried} requeued={stats.requeued} "
+        f"reclaimed={stats.reclaimed} fenced={stats.fenced} "
+        f"lost={stats.lost} foreign_done={stats.foreign_done}"
+    )
+    return 1 if stats.failed else 0
 
 
 def _campaign_watch(spec, args: argparse.Namespace) -> int:

@@ -13,6 +13,11 @@ durable *campaigns*:
 * :mod:`~repro.campaign.orchestrator` — runs only the jobs missing from
   the store, streams completions in transactionally (interrupt + rerun
   resumes exactly), and retries failed workers with capped backoff;
+* :mod:`~repro.campaign.queue` / :mod:`~repro.campaign.worker` — the
+  lease/heartbeat/complete work-queue protocol and the queue-consumer
+  drain loop, so N independent ``campaign work`` processes (one or many
+  hosts, one shared database) drain a single campaign with fenced,
+  exactly-once result commits;
 * :mod:`~repro.campaign.report` — regenerates the paper's aggregate
   tables (markdown/CSV) and raw per-job exports from the store without
   re-simulating anything;
@@ -31,24 +36,32 @@ queryable.
 
 from .manifest import MANIFEST_VERSION, build_manifest
 from .orchestrator import RunStats, run_and_collect, run_campaign
+from .queue import QUEUE_STATS, Lease, LeaseQueue
 from .report import campaign_report, export_rows, export_text, status_report
 from .serde import result_from_dict, result_from_json, result_to_dict, result_to_json
 from .spec import CampaignJob, CampaignSpec, Variant, load_spec, spec_from_dict
 from .store import SCHEMA_VERSION, STORE_STATS, ResultStore, default_db_path
 from .watch import merged_metrics, watch_counts, watch_report
+from .worker import LeaseLost, WorkerStats, drain_campaign
 
 __all__ = [
     "CampaignJob",
     "CampaignSpec",
+    "Lease",
+    "LeaseLost",
+    "LeaseQueue",
     "MANIFEST_VERSION",
+    "QUEUE_STATS",
     "ResultStore",
     "RunStats",
+    "WorkerStats",
     "SCHEMA_VERSION",
     "STORE_STATS",
     "Variant",
     "build_manifest",
     "campaign_report",
     "default_db_path",
+    "drain_campaign",
     "export_rows",
     "export_text",
     "load_spec",

@@ -1,17 +1,23 @@
-"""Resumable campaign execution on top of the process pool and the store.
+"""Resumable campaign execution on top of the work queue and the store.
 
 The orchestrator is deliberately thin: a campaign spec expands to a job
-grid, the store says which cells already hold results, and only the
-missing ones are simulated — serially or fanned out over the
-:mod:`repro.sim.pool` worker processes.  Each completion is committed to
-the store in its own transaction *as it arrives*, so a ``Ctrl-C``, crash
-or machine reboot mid-grid loses at most the simulations that were
-in flight; re-running the same spec resumes exactly where it stopped.
+grid, the store says which cells already hold results, and the missing
+ones are drained through the lease/heartbeat work queue by
+:func:`repro.campaign.worker.drain_campaign` — the same consumer loop
+every distributed ``campaign work`` process runs.  A plain
+``campaign run`` is therefore just a one-worker drain; point extra
+``campaign work`` processes at the same database and they share the grid
+through the queue with no orchestrator involvement.
 
-Failed worker jobs are retried with capped exponential backoff (worker
-crashes and transient OS failures are the target — the simulations
-themselves are deterministic), and anything still failing is recorded as
-``failed`` with its error text, to be retried by the next run.
+Each completion is committed to the store in its own (fenced)
+transaction *as it arrives*, so a ``Ctrl-C``, crash or machine reboot
+mid-grid loses at most the simulations that were in flight; re-running
+the same spec resumes exactly where it stopped.
+
+Failed jobs are retried with capped exponential backoff (worker crashes
+and transient OS failures are the target — the simulations themselves
+are deterministic), and anything still failing is recorded as ``failed``
+with its error text, to be retried by the next run.
 
 Progress streams through the :mod:`repro.obs` trace bus (``campaign.*``
 events) when a probe is supplied, and through ``logging`` always.
@@ -21,29 +27,24 @@ from __future__ import annotations
 
 import logging
 import os
-import time
-from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
 from ..config import baseline_system
 from ..guard.chaos import ChaosPlan, chaos_from_env
 from ..metrics.summary import WorkloadResult
 from ..obs.config import TraceConfig
-from ..obs.metrics import collect_process_metrics, job_metrics, metrics_from_env
+from ..obs.metrics import collect_process_metrics, metrics_from_env
 from ..obs.trace import Probe
 from ..sim import pool
 from ..sim.diskcache import DiskCache, cache_enabled, default_cache_dir
-from ..sim.pool import POOL_INCIDENT_LIMIT, SimJob, terminate_pool
 from .manifest import build_manifest
 from .spec import CampaignJob, CampaignSpec
 from .store import ResultStore
+from .worker import drain_campaign
 
 __all__ = ["RunStats", "run_campaign", "run_and_collect"]
 
 logger = logging.getLogger(__name__)
-
-_MAX_BACKOFF_S = 8.0
 
 
 @dataclass
@@ -51,7 +52,7 @@ class RunStats:
     """What one ``campaign run`` invocation actually did."""
 
     total: int = 0  # grid size
-    skipped: int = 0  # already done in the store
+    skipped: int = 0  # already done in the store (or done by a peer)
     ran: int = 0  # simulated and committed by this run
     failed: int = 0  # exhausted retries; recorded as failed
     retried: int = 0  # resubmissions after a worker error
@@ -67,21 +68,6 @@ class RunStats:
             f"skipped={self.skipped} failed={self.failed} "
             f"deferred={self.deferred}"
         )
-
-
-def _sim_job(job: CampaignJob, trace: TraceConfig, cache_dir: str | None) -> SimJob:
-    return SimJob(
-        config=baseline_system(job.num_cores),
-        workload=job.workload,
-        scheduler=job.scheduler,
-        scheduler_kwargs=job.kwargs_dict(),
-        instructions=job.instructions,
-        seed=job.seed,
-        cache_dir=cache_dir,
-        trace=trace,
-        trace_files=job.trace_files,
-        decoder=job.decoder,
-    )
 
 
 def _prewarm_baselines(to_run: list[CampaignJob], trace: TraceConfig) -> None:
@@ -120,6 +106,9 @@ def run_campaign(
     probe: Probe | None = None,
     chaos: ChaosPlan | None = None,
     job_timeout_s: float | None = None,
+    lease_s: float | None = None,
+    heartbeat_s: float | None = None,
+    worker_id: str | None = None,
 ) -> RunStats:
     """Run every grid cell of ``spec`` that the store does not have yet.
 
@@ -133,7 +122,9 @@ def run_campaign(
     are killed/hung per the plan — all deterministic and once-only, so a
     chaos run converges to the same stored results as a clean one.
     ``job_timeout_s`` (default ``REPRO_JOB_TIMEOUT_S``) is the parallel
-    path's no-progress timeout.
+    path's no-progress timeout; ``lease_s``/``heartbeat_s`` (defaults
+    ``REPRO_LEASE_S``/``REPRO_HEARTBEAT_S``) tune the work-queue lease
+    this run's drain holds on each in-flight job.
     """
     if chaos is None:
         chaos = chaos_from_env()
@@ -149,7 +140,8 @@ def run_campaign(
             return run_campaign(
                 spec, store, jobs=jobs, limit=limit, retries=retries,
                 backoff_s=backoff_s, probe=probe, chaos=chaos,
-                job_timeout_s=job_timeout_s,
+                job_timeout_s=job_timeout_s, lease_s=lease_s,
+                heartbeat_s=heartbeat_s, worker_id=worker_id,
             )
         finally:
             if saved_chaos is None:
@@ -206,29 +198,14 @@ def run_campaign(
     if workers > 1 and cache_dir is not None:
         _prewarm_baselines(to_run, trace)
 
-    def committed(
+    def on_done(
         job: CampaignJob,
         result: WorkloadResult,
         wall: float,
-        attempt: int = 0,
-        worker: str | None = None,
+        attempt: int,
+        worker: str,
     ) -> None:
-        store.record_result(job.key, result, wall_time_s=wall)
-        events_per_sec = result.events_logical / wall if wall > 0 else None
-        store.record_progress(
-            job.key,
-            attempt,
-            worker,
-            "done",
-            wall_time_s=wall,
-            events_per_sec=events_per_sec,
-            metrics=job_metrics(result),
-        )
         stats.ran += 1
-        registry = metrics_from_env()
-        if registry is not None:
-            registry.counter("campaign.jobs_ran").inc()
-            registry.histogram("campaign.job_wall_s").observe(wall)
         done = stats.skipped + stats.ran
         logger.info(
             "campaign %s: %d/%d done (%s on %d cores)",
@@ -244,13 +221,8 @@ def run_campaign(
                 status="done",
             )
 
-    def gave_up(
-        job: CampaignJob, error: BaseException, attempt: int = 0
-    ) -> None:
-        store.record_failure(job.key, f"{type(error).__name__}: {error}")
-        store.record_progress(job.key, attempt, None, "failed")
+    def on_failed(job: CampaignJob, error: BaseException, attempt: int) -> None:
         stats.failed += 1
-        logger.warning("campaign %s: job %s failed: %s", spec.name, job.key[:16], error)
         if probe is not None:
             probe.emit(
                 stats.skipped + stats.ran,
@@ -261,20 +233,38 @@ def run_campaign(
                 status="failed",
             )
 
-    def retrying(job: CampaignJob, attempt: int) -> None:
+    def on_retrying(job: CampaignJob, attempt: int) -> None:
         stats.retried += 1
-        store.record_progress(job.key, attempt, None, "retrying")
 
-    if workers <= 1:
-        _run_serial(
-            to_run, trace, cache_dir, retries, backoff_s, stats,
-            committed, gave_up, retrying,
-        )
-    else:
-        _run_parallel(
-            to_run, trace, cache_dir, workers, retries, backoff_s, stats,
-            committed, gave_up, retrying, job_timeout_s,
-        )
+    def on_requeued(count: int) -> None:
+        stats.requeued += count
+
+    def on_foreign(job: CampaignJob, status: str) -> None:
+        # A peer worker (another `campaign work` process on this store)
+        # finished the job while we drained: done is done — count it
+        # with the cells that were already stored.
+        stats.skipped += 1
+
+    drain_campaign(
+        spec,
+        store,
+        keys=[job.key for job in to_run],
+        worker_id=worker_id,
+        jobs=workers,
+        lease_s=lease_s,
+        heartbeat_s=heartbeat_s,
+        retries=retries,
+        backoff_s=backoff_s,
+        job_timeout_s=job_timeout_s,
+        chaos=chaos,
+        trace=trace,
+        cache_dir=cache_dir,
+        on_done=on_done,
+        on_failed=on_failed,
+        on_retrying=on_retrying,
+        on_requeued=on_requeued,
+        on_foreign=on_foreign,
+    )
     if probe is not None:
         probe.emit(
             stats.skipped + stats.ran,
@@ -298,145 +288,6 @@ def _finalize_metrics(spec: CampaignSpec, store: ResultStore, stats: RunStats) -
     registry.counter("campaign.jobs_retried").inc(stats.retried)
     registry.counter("campaign.jobs_requeued").inc(stats.requeued)
     store.merge_metrics(spec.fingerprint(), collect_process_metrics().snapshot())
-
-
-def _run_serial(
-    to_run, trace, cache_dir, retries, backoff_s, stats, committed, gave_up, retrying
-):
-    for job in to_run:
-        sim = _sim_job(job, trace, cache_dir)
-        for attempt in range(retries + 1):
-            try:
-                result, wall, worker_pid = pool.run_job_timed(sim)
-            except KeyboardInterrupt:
-                raise
-            except Exception as exc:
-                if attempt >= retries:
-                    gave_up(job, exc, attempt)
-                    break
-                retrying(job, attempt)
-                time.sleep(min(backoff_s * (2**attempt), _MAX_BACKOFF_S))
-            else:
-                committed(job, result, wall, attempt, str(worker_pid))
-                break
-
-
-def _run_parallel(
-    to_run, trace, cache_dir, workers, retries, backoff_s, stats, committed, gave_up,
-    retrying, job_timeout_s,
-):
-    """Pool execution with pool-death recovery.
-
-    Each pool *generation* runs until its jobs finish or the pool breaks
-    (worker killed, or no job finishing within ``job_timeout_s``).  A
-    broken generation is torn down without orphaning workers, the
-    unfinished jobs requeue into a fresh pool — pool death is not the
-    job's fault, so it is not charged as an attempt — and after
-    :data:`~repro.sim.pool.POOL_INCIDENT_LIMIT` incidents the survivors
-    run serially.  Job-level exceptions still consume ``retries``
-    attempts with capped backoff, exactly like the serial path.
-    """
-    remaining: list[tuple[CampaignJob, int]] = [(job, 0) for job in to_run]
-    incidents = 0
-    while remaining:
-        if incidents >= POOL_INCIDENT_LIMIT:
-            pool.POOL_STATS["serial_fallbacks"] += 1
-            logger.warning(
-                "worker pool failed %d times; running %d unfinished jobs serially",
-                incidents,
-                len(remaining),
-            )
-            _run_serial(
-                [job for job, _attempt in remaining],
-                trace, cache_dir, retries, backoff_s, stats, committed, gave_up,
-                retrying,
-            )
-            return
-        executor = ProcessPoolExecutor(max_workers=min(workers, len(remaining)))
-        inflight: dict[Future, tuple[CampaignJob, int, float]] = {}
-        requeue: list[tuple[CampaignJob, int]] = []
-        broken: str | None = None
-
-        def submit(job: CampaignJob, attempt: int) -> bool:
-            try:
-                future = executor.submit(
-                    pool.run_job_timed, _sim_job(job, trace, cache_dir)
-                )
-            except BrokenProcessPool:
-                requeue.append((job, attempt))
-                return False
-            inflight[future] = (job, attempt, time.perf_counter())
-            return True
-
-        try:
-            for position, (job, attempt) in enumerate(remaining):
-                if not submit(job, attempt):
-                    # The pool died before everything was in: requeue the
-                    # not-yet-submitted tail too (submit() already queued
-                    # the failing job itself).
-                    requeue.extend(remaining[position + 1:])
-                    broken = "pool broken at submit"
-                    break
-            while inflight and broken is None:
-                finished, _pending = wait(
-                    inflight, timeout=job_timeout_s, return_when=FIRST_COMPLETED
-                )
-                if not finished:
-                    pool.POOL_STATS["timeouts"] += 1
-                    broken = (
-                        f"no job finished within {job_timeout_s:g}s "
-                        f"(pool presumed hung)"
-                    )
-                    break
-                for future in finished:
-                    job, attempt, _started = inflight.pop(future)
-                    try:
-                        result, wall, worker_pid = future.result()
-                    except BrokenProcessPool:
-                        # The pool died under this job: requeue at the
-                        # same attempt — not the job's fault.
-                        requeue.append((job, attempt))
-                        broken = "worker died"
-                    except Exception as exc:
-                        if attempt >= retries:
-                            gave_up(job, exc, attempt)
-                            continue
-                        retrying(job, attempt)
-                        # Capped backoff in the submitting process: a
-                        # worker crash (OOM kill, wedged node) should not
-                        # be hammered back instantly.
-                        time.sleep(min(backoff_s * (2**attempt), _MAX_BACKOFF_S))
-                        submit(job, attempt + 1)
-                    else:
-                        committed(job, result, wall, attempt, str(worker_pid))
-        except KeyboardInterrupt:
-            # Everything already committed stays committed; drop the rest.
-            terminate_pool(executor)
-            logger.error(
-                "campaign interrupted: %d results committed, %d jobs dropped "
-                "(resume with `repro campaign resume`)",
-                stats.ran,
-                len(inflight),
-            )
-            raise
-        except BaseException:
-            terminate_pool(executor)
-            raise
-        if broken is None and not requeue:
-            executor.shutdown()
-            return
-        terminate_pool(executor)
-        incidents += 1
-        pool.POOL_STATS["respawns"] += 1
-        remaining = requeue + [
-            (job, attempt) for job, attempt, _started in inflight.values()
-        ]
-        stats.requeued += len(remaining)
-        logger.warning(
-            "worker pool incident (%s); respawning pool for %d unfinished jobs",
-            broken or "submit failure",
-            len(remaining),
-        )
 
 
 def run_and_collect(

@@ -1,0 +1,366 @@
+"""Lease/heartbeat/complete work-queue protocol over the result store.
+
+This is the coordination layer that lets N independent worker processes
+— on one or many hosts pointed at a shared SQLite database — drain a
+single campaign without losing or duplicating a result:
+
+* **claim** — atomically take the next runnable job (not ``done``, no
+  live lease) under ``BEGIN IMMEDIATE``, so concurrent claimers
+  serialize on SQLite's write lock and each job is handed to exactly one
+  worker.  Claiming bumps the job's monotone ``lease_seq`` counter; that
+  value is the worker's *fencing token* for this execution.
+* **heartbeat** — renew the lease deadline periodically while the
+  simulation runs (wired into the simulator's watchdog checkpoint via
+  :func:`repro.sim.pool.sim_progress`).  Renewal is fenced: if the lease
+  was reclaimed and re-issued, the stale worker gets ``None`` back and
+  must abandon the job.
+* **reclaim** — any worker may delete leases whose deadline passed
+  (the owner died or hung) and re-claim the jobs.  The owning campaign's
+  ``reclaims`` counter records each reissue for ``campaign watch``.
+* **complete/fail** — commit the result *and* release the lease in one
+  transaction, but only if the worker's fencing token still matches the
+  live lease.  A reclaimed-then-resurrected worker can therefore never
+  double-commit: its token is stale, the commit is rejected, and the
+  result recorded by the reclaiming worker stands.
+
+Everything here goes through the store's connection (WAL +
+``busy_timeout`` already configured) and tolerates transient
+``OperationalError`` — including chaos-injected ones — with jittered
+capped backoff.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import random
+import sqlite3
+import time
+import uuid
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
+
+from ..envknobs import read_float
+from .serde import result_to_json
+from .store import ResultStore
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..metrics.summary import WorkloadResult
+
+__all__ = [
+    "Lease",
+    "LeaseQueue",
+    "QUEUE_STATS",
+    "default_heartbeat_s",
+    "default_lease_s",
+]
+
+logger = logging.getLogger(__name__)
+
+# Operational counters of this process's queue traffic, folded into the
+# metrics plane as ``worker.*`` by
+# :func:`repro.obs.metrics.collect_process_metrics`.
+QUEUE_STATS = {
+    "leases_claimed": 0,
+    "leases_renewed": 0,
+    "leases_expired": 0,
+    "leases_reclaimed": 0,
+    "leases_fenced": 0,
+}
+
+_DEFAULT_LEASE_S = 30.0
+_TXN_RETRIES = 4
+_TXN_BACKOFF_S = 0.05
+_TXN_BACKOFF_MAX_S = 1.0
+_CHUNK = 500
+
+
+def default_lease_s() -> float:
+    """Lease duration in seconds (``REPRO_LEASE_S``, default 30)."""
+    return read_float("REPRO_LEASE_S", _DEFAULT_LEASE_S, floor=0.1)
+
+
+def default_heartbeat_s(lease_s: float) -> float:
+    """Heartbeat period (``REPRO_HEARTBEAT_S``, default a third of the
+    lease — three missed beats before anyone may reclaim)."""
+    return read_float("REPRO_HEARTBEAT_S", lease_s / 3.0, floor=0.05)
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One worker's live claim on one job.
+
+    ``attempt`` is the fencing token: the job's ``lease_seq`` at claim
+    time.  Completion/renewal succeed only while the (worker_id, attempt)
+    pair matches the live lease row.
+    """
+
+    key: str
+    worker_id: str
+    attempt: int
+    deadline: float
+
+
+def _worker_id() -> str:
+    return f"{os.uname().nodename}:{os.getpid()}:{uuid.uuid4().hex[:6]}"
+
+
+class LeaseQueue:
+    """Fenced work-queue over one campaign's jobs in a shared store."""
+
+    def __init__(
+        self,
+        store: ResultStore,
+        fingerprint: str,
+        *,
+        worker_id: str | None = None,
+        lease_s: float | None = None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.store = store
+        self.fingerprint = fingerprint
+        self.worker_id = worker_id or _worker_id()
+        self.lease_s = lease_s if lease_s is not None else default_lease_s()
+        self._clock = clock
+
+    # -- transaction plumbing -------------------------------------------------
+    def _txn(self, key: str, fn):
+        """Run ``fn(conn)`` inside ``BEGIN IMMEDIATE``; retry transient
+        ``OperationalError`` (lock contention, chaos injection) with
+        jittered capped backoff, then re-raise."""
+        conn = self.store._conn
+        chaos = self.store.chaos
+        for attempt in range(_TXN_RETRIES + 1):
+            try:
+                if chaos is not None:
+                    chaos.sqlite_hiccup(key)
+                if conn.in_transaction:  # pragma: no cover - defensive
+                    conn.commit()
+                conn.execute("BEGIN IMMEDIATE")
+                try:
+                    out = fn(conn)
+                except BaseException:
+                    if conn.in_transaction:
+                        conn.execute("ROLLBACK")
+                    raise
+                conn.execute("COMMIT")
+                return out
+            except sqlite3.OperationalError as exc:
+                if attempt >= _TXN_RETRIES:
+                    raise
+                delay = min(_TXN_BACKOFF_S * (2**attempt), _TXN_BACKOFF_MAX_S)
+                delay *= 0.5 + random.random() * 0.5
+                logger.warning(
+                    "queue txn for %s hit %s; retrying in %.2fs",
+                    key[:12],
+                    exc,
+                    delay,
+                )
+                time.sleep(delay)
+
+    def _fenced_row(self, conn, lease: Lease):
+        row = conn.execute(
+            "SELECT worker_id, attempt FROM leases WHERE key = ?",
+            (lease.key,),
+        ).fetchone()
+        if (
+            row is None
+            or row["worker_id"] != lease.worker_id
+            or int(row["attempt"]) != lease.attempt
+        ):
+            return None
+        return row
+
+    # -- protocol -------------------------------------------------------------
+    def claim_next(self, keys: Sequence[str]) -> Lease | None:
+        """Atomically claim the first runnable job in ``keys`` order.
+
+        Runnable means: registered, not ``done``, and carrying no live
+        lease.  An *expired* lease on the key is reclaimed in the same
+        transaction (its job is re-issued to this worker).  Returns
+        ``None`` when every key is done or leased out to live workers.
+        """
+
+        def fn(conn):
+            now = self._clock()
+            for start in range(0, len(keys), _CHUNK):
+                chunk = list(keys[start : start + _CHUNK])
+                marks = ",".join("?" * len(chunk))
+                status = {
+                    row["key"]: row["status"]
+                    for row in conn.execute(
+                        f"SELECT key, status FROM jobs WHERE key IN ({marks})",
+                        chunk,
+                    )
+                }
+                held = {
+                    row["key"]: row
+                    for row in conn.execute(
+                        f"SELECT * FROM leases WHERE key IN ({marks})", chunk
+                    )
+                }
+                for key in chunk:
+                    if status.get(key) in (None, "done"):
+                        continue
+                    stale = held.get(key)
+                    if stale is not None:
+                        if float(stale["lease_deadline"]) > now:
+                            continue  # live lease; someone else is on it
+                        conn.execute(
+                            "DELETE FROM leases WHERE key = ?", (key,)
+                        )
+                        conn.execute(
+                            "UPDATE campaigns SET reclaims = reclaims + 1 "
+                            "WHERE fingerprint = ?",
+                            (stale["campaign"],),
+                        )
+                        QUEUE_STATS["leases_expired"] += 1
+                        QUEUE_STATS["leases_reclaimed"] += 1
+                        logger.warning(
+                            "reclaimed expired lease on %s from %s",
+                            key[:12],
+                            stale["worker_id"],
+                        )
+                    conn.execute(
+                        "UPDATE jobs SET lease_seq = lease_seq + 1 "
+                        "WHERE key = ?",
+                        (key,),
+                    )
+                    seq = int(
+                        conn.execute(
+                            "SELECT lease_seq FROM jobs WHERE key = ?", (key,)
+                        ).fetchone()["lease_seq"]
+                    )
+                    deadline = now + self.lease_s
+                    conn.execute(
+                        "INSERT INTO leases (key, campaign, worker_id, attempt,"
+                        " claimed_at, heartbeat_at, lease_deadline) "
+                        "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                        (
+                            key,
+                            self.fingerprint,
+                            self.worker_id,
+                            seq,
+                            now,
+                            now,
+                            deadline,
+                        ),
+                    )
+                    QUEUE_STATS["leases_claimed"] += 1
+                    return Lease(key, self.worker_id, seq, deadline)
+            return None
+
+        return self._txn("claim", fn)
+
+    def heartbeat(self, lease: Lease) -> Lease | None:
+        """Renew the lease deadline; ``None`` means fenced out (the lease
+        was reclaimed and this worker must abandon the job)."""
+
+        def fn(conn):
+            if self._fenced_row(conn, lease) is None:
+                QUEUE_STATS["leases_fenced"] += 1
+                return None
+            now = self._clock()
+            deadline = now + self.lease_s
+            conn.execute(
+                "UPDATE leases SET heartbeat_at = ?, lease_deadline = ? "
+                "WHERE key = ?",
+                (now, deadline, lease.key),
+            )
+            QUEUE_STATS["leases_renewed"] += 1
+            return replace(lease, deadline=deadline)
+
+        return self._txn(lease.key, fn)
+
+    def complete(
+        self,
+        lease: Lease,
+        result: "WorkloadResult",
+        wall_time_s: float | None = None,
+    ) -> bool:
+        """Fenced commit: persist the result and release the lease in one
+        transaction iff the fencing token still matches.  Returns False
+        (and changes nothing) for a stale worker."""
+
+        def fn(conn):
+            if self._fenced_row(conn, lease) is None:
+                QUEUE_STATS["leases_fenced"] += 1
+                logger.warning(
+                    "fenced: stale worker %s may not commit %s",
+                    lease.worker_id,
+                    lease.key[:12],
+                )
+                return False
+            conn.execute(
+                "UPDATE jobs SET status = 'done', result_json = ?, "
+                "error = NULL, attempts = attempts + 1, wall_time_s = ? "
+                "WHERE key = ?",
+                (result_to_json(result), wall_time_s, lease.key),
+            )
+            conn.execute("DELETE FROM leases WHERE key = ?", (lease.key,))
+            return True
+
+        return self._txn(lease.key, fn)
+
+    def fail(self, lease: Lease, error: str) -> bool:
+        """Fenced failure record (job stays retryable on future resumes)."""
+
+        def fn(conn):
+            if self._fenced_row(conn, lease) is None:
+                QUEUE_STATS["leases_fenced"] += 1
+                return False
+            conn.execute(
+                "UPDATE jobs SET status = 'failed', error = ?, "
+                "attempts = attempts + 1 WHERE key = ?",
+                (error[:2000], lease.key),
+            )
+            conn.execute("DELETE FROM leases WHERE key = ?", (lease.key,))
+            return True
+
+        return self._txn(lease.key, fn)
+
+    def release(self, lease: Lease) -> bool:
+        """Fenced release without touching job status (requeue path)."""
+
+        def fn(conn):
+            if self._fenced_row(conn, lease) is None:
+                return False
+            conn.execute("DELETE FROM leases WHERE key = ?", (lease.key,))
+            return True
+
+        return self._txn(lease.key, fn)
+
+    def reclaim_expired(self) -> list[str]:
+        """Delete every expired lease in the store (any campaign) and
+        credit the owning campaigns' ``reclaims`` counters.  Returns the
+        reclaimed job keys — now claimable again by anyone."""
+
+        def fn(conn):
+            now = self._clock()
+            rows = conn.execute(
+                "SELECT key, campaign, worker_id FROM leases "
+                "WHERE lease_deadline <= ?",
+                (now,),
+            ).fetchall()
+            for row in rows:
+                conn.execute("DELETE FROM leases WHERE key = ?", (row["key"],))
+                conn.execute(
+                    "UPDATE campaigns SET reclaims = reclaims + 1 "
+                    "WHERE fingerprint = ?",
+                    (row["campaign"],),
+                )
+                logger.warning(
+                    "reclaimed expired lease on %s from %s",
+                    row["key"][:12],
+                    row["worker_id"],
+                )
+            n = len(rows)
+            QUEUE_STATS["leases_expired"] += n
+            QUEUE_STATS["leases_reclaimed"] += n
+            return [row["key"] for row in rows]
+
+        return self._txn("reclaim", fn)
+
+    def live_leases(self, keys: Iterable[str]) -> dict[str, dict]:
+        """Lease rows for ``keys`` relative to this queue's clock."""
+        return self.store.leases_for(keys, now=self._clock())

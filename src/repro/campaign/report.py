@@ -27,6 +27,7 @@ from __future__ import annotations
 import csv
 import io
 import json
+import time
 from typing import Any
 
 from ..experiments.paper_values import TABLE4
@@ -49,23 +50,55 @@ def _fmt(value: float) -> str:
     return format(value, ".4g")
 
 
-def status_report(spec: CampaignSpec, store: ResultStore) -> str:
+def status_report(
+    spec: CampaignSpec, store: ResultStore, *, now: float | None = None
+) -> str:
     """Lifecycle counts for one campaign (registers nothing, runs nothing).
 
     Counts come from the expanded grid's job keys, not the campaign
     foreign key, so cells shared with another campaign (same content
-    hash) are counted as done here too.
+    hash) are counted as done here too.  In-flight work is its own
+    bucket: jobs under a live work-queue lease render as ``leased`` with
+    the holding worker and lease age instead of being lumped into
+    ``pending`` (with no leases the output is byte-identical to the
+    pre-queue format — the resume byte-identity tests rely on that).
+    ``now`` pins the clock the lease ages are rendered against.
     """
+    if now is None:
+        now = time.time()
     fingerprint = spec.fingerprint()
     grid = spec.expand()
     statuses = store.statuses(job.key for job in grid)
     done = sum(1 for s in statuses.values() if s == "done")
     failed = sum(1 for s in statuses.values() if s == "failed")
     pending = len(grid) - done - failed
+    leases = store.leases_for((job.key for job in grid), now=now)
+    live = {
+        key: lease
+        for key, lease in leases.items()
+        if not lease["expired"] and statuses.get(key) != "done"
+    }
+    expired = sum(1 for lease in leases.values() if lease["expired"])
+    reclaimed = store.reclaim_count(fingerprint)
+    jobs_line = (
+        f"  jobs: {done}/{len(grid)} done, {pending - len(live)} pending, "
+        f"{failed} failed"
+    )
+    if live:
+        jobs_line += f", {len(live)} leased"
+    if expired or reclaimed:
+        jobs_line += f" ({expired} leases expired, {reclaimed} reclaimed)"
     lines = [
         f"campaign {spec.name!r} (fingerprint {fingerprint[:12]})",
-        f"  jobs: {done}/{len(grid)} done, {pending} pending, {failed} failed",
+        jobs_line,
     ]
+    for key in sorted(live):
+        lease = live[key]
+        lines.append(
+            f"  leased {key[:16]}: worker {lease['worker_id']}, "
+            f"age {max(0.0, now - lease['claimed_at']):.0f}s, "
+            f"attempt {lease['attempt']}"
+        )
     if not statuses:
         lines.append(
             f"  not registered in this store yet ({len(grid)} jobs on expansion)"

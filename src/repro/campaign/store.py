@@ -29,11 +29,13 @@ from __future__ import annotations
 import json
 import logging
 import os
+import random
 import sqlite3
 import time
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Sequence
 
+from ..envknobs import read_float
 from ..sim.diskcache import cache_enabled, default_cache_dir
 from .serde import result_from_json, result_to_json
 from .spec import CampaignJob, CampaignSpec
@@ -46,7 +48,11 @@ __all__ = ["ResultStore", "SCHEMA_VERSION", "STORE_STATS", "default_db_path"]
 
 logger = logging.getLogger(__name__)
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
+
+# Default ``PRAGMA busy_timeout`` in seconds; raise via
+# ``REPRO_STORE_BUSY_TIMEOUT_S`` when many workers share one database.
+_BUSY_TIMEOUT_DEFAULT_S = 30.0
 
 # Operational counters of this process's store traffic, folded into the
 # metrics plane by :func:`repro.obs.metrics.collect_process_metrics`.
@@ -111,6 +117,25 @@ _MIGRATIONS: dict[int, Sequence[str]] = {
         "ALTER TABLE campaigns ADD COLUMN manifest_json TEXT",
         "ALTER TABLE campaigns ADD COLUMN metrics_json TEXT",
     ),
+    # v4: the distributed work-queue.  ``leases`` holds at most one live
+    # lease per job key (who is running it, until when); ``jobs`` gains a
+    # monotone fencing counter bumped on every claim so a reclaimed
+    # worker's late commit can be rejected; ``campaigns`` counts how many
+    # leases were reclaimed from dead/hung workers.  Additive only.
+    4: (
+        "ALTER TABLE jobs ADD COLUMN lease_seq INTEGER NOT NULL DEFAULT 0",
+        """CREATE TABLE leases (
+            key         TEXT PRIMARY KEY,
+            campaign    TEXT NOT NULL,
+            worker_id   TEXT NOT NULL,
+            attempt     INTEGER NOT NULL,
+            claimed_at  REAL NOT NULL,
+            heartbeat_at REAL NOT NULL,
+            lease_deadline REAL NOT NULL
+        )""",
+        "CREATE INDEX leases_by_campaign ON leases (campaign, lease_deadline)",
+        "ALTER TABLE campaigns ADD COLUMN reclaims INTEGER NOT NULL DEFAULT 0",
+    ),
 }
 
 
@@ -141,7 +166,10 @@ class ResultStore:
         self._conn.row_factory = sqlite3.Row
         self._conn.execute("PRAGMA journal_mode=WAL")
         self._conn.execute("PRAGMA synchronous=NORMAL")
-        self._conn.execute("PRAGMA busy_timeout=30000")
+        busy_s = read_float(
+            "REPRO_STORE_BUSY_TIMEOUT_S", _BUSY_TIMEOUT_DEFAULT_S, floor=0.0
+        )
+        self._conn.execute(f"PRAGMA busy_timeout={int(busy_s * 1000)}")
         self._conn.execute("PRAGMA foreign_keys=ON")
         self._migrate()
 
@@ -165,28 +193,40 @@ class ResultStore:
         conn.execute(
             "CREATE TABLE IF NOT EXISTS schema_version (version INTEGER NOT NULL)"
         )
-        row = conn.execute("SELECT version FROM schema_version").fetchone()
-        current = int(row["version"]) if row is not None else 0
-        if current > SCHEMA_VERSION:
-            raise RuntimeError(
-                f"campaign database {self.path!r} has schema v{current}, "
-                f"newer than this code (v{SCHEMA_VERSION}); refusing to touch it"
-            )
-        if current == SCHEMA_VERSION:
-            return
-        with conn:  # one transaction for the whole upgrade
-            for version in range(current + 1, SCHEMA_VERSION + 1):
-                for statement in _MIGRATIONS[version]:
-                    conn.execute(statement)
-            if row is None:
-                conn.execute(
-                    "INSERT INTO schema_version (version) VALUES (?)",
-                    (SCHEMA_VERSION,),
+        # Concurrent openers of a fresh (or stale) database race to apply
+        # the same DDL — N ``campaign work`` processes pointed at one new
+        # shared store all arrive here at once.  BEGIN IMMEDIATE takes the
+        # write lock *before* the version read, so exactly one connection
+        # upgrades and the rest wait on busy_timeout, then see the
+        # finished schema and fall through.
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            row = conn.execute("SELECT version FROM schema_version").fetchone()
+            current = int(row["version"]) if row is not None else 0
+            if current > SCHEMA_VERSION:
+                raise RuntimeError(
+                    f"campaign database {self.path!r} has schema v{current}, "
+                    f"newer than this code (v{SCHEMA_VERSION}); refusing to touch it"
                 )
-            else:
-                conn.execute(
-                    "UPDATE schema_version SET version = ?", (SCHEMA_VERSION,)
-                )
+            if current < SCHEMA_VERSION:
+                for version in range(current + 1, SCHEMA_VERSION + 1):
+                    for statement in _MIGRATIONS[version]:
+                        conn.execute(statement)
+                if row is None:
+                    conn.execute(
+                        "INSERT INTO schema_version (version) VALUES (?)",
+                        (SCHEMA_VERSION,),
+                    )
+                else:
+                    conn.execute(
+                        "UPDATE schema_version SET version = ?",
+                        (SCHEMA_VERSION,),
+                    )
+            conn.execute("COMMIT")
+        except BaseException:
+            if conn.in_transaction:
+                conn.execute("ROLLBACK")
+            raise
 
     # -- registration --------------------------------------------------------
     def register(self, spec: CampaignSpec, jobs: Sequence[CampaignJob]) -> int:
@@ -250,8 +290,10 @@ class ResultStore:
 
     def _commit_with_retry(self, key: str, sql: str, params: tuple) -> None:
         """One-row commit resilient to transient ``OperationalError``
-        (lock contention under concurrent readers, chaos injection):
-        capped exponential backoff, then re-raise."""
+        (lock contention under concurrent workers, chaos injection):
+        capped exponential backoff with jitter — so N workers that
+        collide on the same lock don't retry in lockstep — then
+        re-raise."""
         for attempt in range(_COMMIT_RETRIES + 1):
             try:
                 if self.chaos is not None:
@@ -266,6 +308,7 @@ class ResultStore:
                 delay = min(
                     _COMMIT_BACKOFF_S * (2**attempt), _COMMIT_BACKOFF_MAX_S
                 )
+                delay *= 0.5 + random.random() * 0.5
                 logger.warning(
                     "store commit for %s hit %s; retrying in %.2fs",
                     key[:12],
@@ -410,6 +453,71 @@ class ResultStore:
         if row is None or row["metrics_json"] is None:
             return None
         return json.loads(row["metrics_json"])
+
+    # -- leases (schema v4) ---------------------------------------------------
+    def leases_for(
+        self, keys: Iterable[str], now: float | None = None
+    ) -> dict[str, dict]:
+        """Live lease rows for specific job keys (absent keys missing).
+
+        Each row carries ``expired`` relative to ``now`` (wall clock by
+        default) so readers can distinguish in-flight work from leases
+        awaiting reclamation.
+        """
+        if now is None:
+            now = time.time()
+        out: dict[str, dict] = {}
+        keys = list(keys)
+        for start in range(0, len(keys), 500):
+            chunk = keys[start : start + 500]
+            marks = ",".join("?" * len(chunk))
+            for row in self._conn.execute(
+                f"SELECT * FROM leases WHERE key IN ({marks})", chunk
+            ):
+                out[row["key"]] = {
+                    "key": row["key"],
+                    "campaign": row["campaign"],
+                    "worker_id": row["worker_id"],
+                    "attempt": int(row["attempt"]),
+                    "claimed_at": float(row["claimed_at"]),
+                    "heartbeat_at": float(row["heartbeat_at"]),
+                    "lease_deadline": float(row["lease_deadline"]),
+                    "expired": float(row["lease_deadline"]) <= now,
+                }
+        return out
+
+    def reclaim_count(self, fingerprint: str) -> int:
+        """How many leases this campaign has reclaimed from dead workers."""
+        row = self._conn.execute(
+            "SELECT reclaims FROM campaigns WHERE fingerprint = ?",
+            (fingerprint,),
+        ).fetchone()
+        return int(row["reclaims"]) if row is not None else 0
+
+    def spec_for(self, fingerprint: str) -> CampaignSpec:
+        """Rehydrate the registered spec by fingerprint (unique-prefix
+        match accepted, mirroring git's short-hash ergonomics for the
+        ``campaign work --fingerprint`` CLI)."""
+        rows = self._conn.execute(
+            "SELECT fingerprint, spec_json FROM campaigns "
+            "WHERE fingerprint LIKE ? ORDER BY fingerprint",
+            (fingerprint + "%",),
+        ).fetchall()
+        exact = [r for r in rows if r["fingerprint"] == fingerprint]
+        if exact:
+            rows = exact
+        if not rows:
+            raise KeyError(
+                f"no campaign with fingerprint {fingerprint!r} in {self.path!r}"
+            )
+        if len(rows) > 1:
+            matches = ", ".join(r["fingerprint"][:12] for r in rows)
+            raise KeyError(
+                f"fingerprint prefix {fingerprint!r} is ambiguous ({matches})"
+            )
+        from .spec import spec_from_dict
+
+        return spec_from_dict(json.loads(rows[0]["spec_json"]))
 
     # -- queries -------------------------------------------------------------
     def counts(self, fingerprint: str) -> dict[str, int]:

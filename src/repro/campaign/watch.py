@@ -57,12 +57,28 @@ def watch_counts(spec: CampaignSpec, store: ResultStore) -> dict:
         and (row := progress.get(job.key)) is not None
         and row["status"] == "retrying"
     )
+    leases = store.leases_for(job.key for job in grid)
+    leased = sum(
+        1
+        for key, lease in leases.items()
+        if not lease["expired"] and statuses.get(key) != "done"
+    )
+    expired = sum(1 for lease in leases.values() if lease["expired"])
     return {
         "total": len(grid),
         "done": done,
         "failed": failed,
         "pending": len(grid) - done - failed,
         "retrying": retrying,
+        # Work-queue visibility (schema v4): live leases held by workers,
+        # leases past their deadline awaiting reclamation, and how many
+        # leases this campaign has reclaimed from dead workers so far.
+        # ``pending`` keeps its grid-minus-resolved meaning (the CLI
+        # watch loop exits on it); leased jobs are a subset of pending.
+        "leased": leased,
+        "expired": expired,
+        "reclaimed": store.reclaim_count(spec.fingerprint()),
+        "leases": leases,
         "statuses": statuses,
         "progress": progress,
     }
@@ -103,6 +119,12 @@ def merged_metrics(spec: CampaignSpec, store: ResultStore) -> MetricsRegistry:
     ops = store.metrics(spec.fingerprint())
     if ops is not None:
         registry.merge(_prefixed(ops, "ops."))
+    # Live queue state straight from the campaign row: unlike the stored
+    # ops snapshot (merged only when a run finalizes), the reclaim count
+    # is current even while workers are mid-drain.
+    reclaims = store.reclaim_count(spec.fingerprint())
+    if reclaims:
+        registry.gauge("ops.queue.reclaims").set(reclaims)
     return registry
 
 
@@ -111,11 +133,25 @@ def watch_report(
 ) -> str:
     """One snapshot of campaign progress, rendered for a terminal."""
     counts = watch_counts(spec, store)
+    # Live leases render as their own bucket (and leave "pending" to
+    # mean unclaimed work); with no leases the line is byte-identical to
+    # the pre-queue format, which tests and CI grep as a substring.
+    leased = counts["leased"]
+    jobs_line = (
+        f"  jobs: {counts['done']}/{counts['total']} done, "
+        f"{counts['pending'] - leased} pending, {counts['failed']} failed, "
+        f"{counts['retrying']} retrying"
+    )
+    if leased:
+        jobs_line += f", {leased} leased"
+    if counts["expired"] or counts["reclaimed"]:
+        jobs_line += (
+            f" ({counts['expired']} leases expired, "
+            f"{counts['reclaimed']} reclaimed)"
+        )
     lines = [
         f"campaign {spec.name!r} (fingerprint {spec.fingerprint()[:12]})",
-        f"  jobs: {counts['done']}/{counts['total']} done, "
-        f"{counts['pending']} pending, {counts['failed']} failed, "
-        f"{counts['retrying']} retrying",
+        jobs_line,
     ]
     # Rolling completion rate over the most recent heartbeat window.
     done_times = sorted(

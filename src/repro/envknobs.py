@@ -22,6 +22,16 @@ Knobs parsed here:
 ``REPRO_JOB_TIMEOUT_S``    per-job wall-clock timeout in pool/campaign workers
 ``REPRO_METRICS``          operational metrics registry toggle (default on)
 ``REPRO_TRACE_DIR``        directory for generated sample trace files
+``REPRO_STORE_BUSY_TIMEOUT_S``  SQLite busy_timeout for the shared result
+                           store (seconds, default 30; floor 0) — how long
+                           a writer blocks on a peer's transaction before
+                           the jittered commit-retry loop takes over
+``REPRO_LEASE_S``          work-queue lease duration in seconds (default
+                           30, floor 0.1): a worker silent for this long
+                           forfeits its job to reclamation
+``REPRO_HEARTBEAT_S``      lease renewal period (default lease/3, floor
+                           0.05); must be well under ``REPRO_LEASE_S`` or
+                           healthy workers get reclaimed
 =========================  ==================================================
 
 ``REPRO_METRICS`` is parsed next to its registry in

@@ -54,7 +54,7 @@ logger = logging.getLogger(__name__)
 # surviving processes' tallies are the observable signal).
 CHAOS_STATS: dict[str, int] = {}
 
-_RATE_FIELDS = ("kill", "hang", "corrupt", "sqlite")
+_RATE_FIELDS = ("kill", "hang", "corrupt", "sqlite", "leasekill", "hbfreeze")
 
 # How long a "hung" worker sleeps.  Pair hang-injection with
 # REPRO_JOB_TIMEOUT_S so the pool's no-progress timeout reclaims it.
@@ -80,12 +80,21 @@ class ChaosPlan:
       entries are truncated or overwritten with garbage.
     * ``sqlite`` — selected campaign-store commits raise
       ``sqlite3.OperationalError("database is locked")`` once.
+    * ``leasekill`` — a distributed campaign worker dies hard right after
+      claiming a selected job's lease (``campaign work`` processes
+      ``os._exit``; in-process drains raise :class:`ChaosInjectedError`),
+      leaving the lease to expire and be reclaimed by a peer.
+    * ``hbfreeze`` — a selected job's lease heartbeats stop renewing for
+      the rest of that execution (the worker keeps simulating), so the
+      lease expires mid-run and the eventual commit is fenced off.
     """
 
     kill: float = 0.0
     hang: float = 0.0
     corrupt: float = 0.0
     sqlite: float = 0.0
+    leasekill: float = 0.0
+    hbfreeze: float = 0.0
     seed: int = 0
     dir: str = ""
 
@@ -227,6 +236,33 @@ class ChaosPlan:
         if corrupted:
             logger.warning("chaos: corrupted %d cache entries", corrupted)
         return corrupted
+
+    def maybe_kill_leaseholder(self, key: str, *, hard: bool = False) -> None:
+        """Die right after claiming ``key``'s lease — at most once.
+
+        ``hard`` is set by top-level ``campaign work`` processes (no pool
+        parent to observe a ``BrokenProcessPool``): the process exits 137
+        and its lease is left to expire so a peer worker reclaims the
+        job.  In-process drains raise :class:`ChaosInjectedError`, which
+        the worker loop charges as an ordinary retry.
+        """
+        if self.fire_once("leasekill", key):
+            if hard:
+                logger.warning(
+                    "chaos: killing worker holding lease on %s", key[:12]
+                )
+                os._exit(137)
+            raise ChaosInjectedError(
+                f"chaos: injected lease-holder kill for job {key[:12]}"
+            )
+
+    def freeze_heartbeats(self, key: str) -> bool:
+        """Whether this execution of ``key`` should stop renewing its
+        lease heartbeats — at most once across the plan's processes.
+        The worker keeps simulating; the lease expires mid-run, a peer
+        (or a later pass) reclaims the job, and the frozen worker's
+        eventual commit must be rejected by the fencing token."""
+        return self.fire_once("hbfreeze", key)
 
     def sqlite_hiccup(self, key: str) -> None:
         """Raise a transient ``OperationalError`` once per store commit key."""

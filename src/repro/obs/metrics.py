@@ -329,4 +329,9 @@ def collect_process_metrics() -> MetricsRegistry:
     from ..campaign.store import STORE_STATS
 
     registry.counter("store.commit_retries").inc(STORE_STATS["commit_retries"])
+
+    from ..campaign.queue import QUEUE_STATS
+
+    for name in sorted(QUEUE_STATS):
+        registry.counter(f"worker.{name}").inc(QUEUE_STATS[name])
     return registry

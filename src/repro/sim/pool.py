@@ -30,6 +30,7 @@ import logging
 import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from contextlib import contextmanager
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Sequence
@@ -54,6 +55,7 @@ __all__ = [
     "run_job",
     "run_job_timed",
     "run_jobs",
+    "sim_progress",
     "terminate_pool",
 ]
 
@@ -175,6 +177,29 @@ def job_chaos_key(job: SimJob) -> str:
             job.seed,
         ]
     )
+
+
+@contextmanager
+def sim_progress(callback):
+    """Install ``callback(events)`` as the simulator's long-run progress
+    hook for the duration of the block, restoring the previous hook on
+    exit.
+
+    The hook fires at the simulator watchdog checkpoint (every
+    ``_WATCHDOG_CHECK_EVENTS`` events, i.e. a few times per second of
+    wall time), which is what campaign workers use to renew work-queue
+    lease heartbeats *while* a long simulation runs — not just between
+    jobs.  Exceptions raised by the callback propagate out of the
+    simulation like any simulation error (the lease-lost abort path).
+    """
+    from . import system as _system
+
+    previous = _system.PROGRESS_HOOK
+    _system.PROGRESS_HOOK = callback
+    try:
+        yield
+    finally:
+        _system.PROGRESS_HOOK = previous
 
 
 def run_job(job: SimJob) -> "WorkloadResult":

@@ -31,6 +31,15 @@ __all__ = ["DramPort", "System"]
 # hot loop at bench-gate speed.
 _WATCHDOG_CHECK_EVENTS = 1 << 18
 
+# Optional long-run progress callback, invoked with the running event
+# count at every watchdog checkpoint (so roughly every couple of seconds
+# of simulation, never per event).  Installed/restored via
+# :func:`repro.sim.pool.sim_progress`; campaign workers use it to renew
+# work-queue lease heartbeats while a long simulation runs.  ``None``
+# (the default) adds nothing to the hot loop beyond the existing
+# checkpoint slow path.
+PROGRESS_HOOK = None
+
 
 class DramPort:
     """Adapter from the core/cache ``access`` protocol to the controller."""
@@ -278,6 +287,8 @@ class System:
                         )
                     if events >= next_check:
                         next_check = events + _WATCHDOG_CHECK_EVENTS
+                        if PROGRESS_HOOK is not None:
+                            PROGRESS_HOOK(events)
                         retired = 0
                         for core in self.cores:
                             retired += core.instructions_retired

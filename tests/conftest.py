@@ -45,6 +45,11 @@ def _isolated_disk_cache(tmp_path_factory):
             # An inherited REPRO_METRICS=0 would disable every registry
             # site the metrics tests assert on.
             "REPRO_METRICS",
+            # Inherited work-queue knobs would change lease lifetimes the
+            # distributed-drain tests pin with injected clocks.
+            "REPRO_LEASE_S",
+            "REPRO_HEARTBEAT_S",
+            "REPRO_STORE_BUSY_TIMEOUT_S",
         )
     }
     yield

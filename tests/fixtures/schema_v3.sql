@@ -1,0 +1,48 @@
+-- Frozen schema-v3 campaign database, exactly as written by code at
+-- SCHEMA_VERSION = 3 (the v1 base DDL plus the v2 wall_time_s ALTER and
+-- the v3 observability-plane statements).
+-- tests/test_store_migration.py builds a database from this script,
+-- inserts rows the way v3-era code would, then opens it with the
+-- current ResultStore and asserts the v4 migration upgrades in place
+-- without touching a byte of existing data.  Do not edit to match new
+-- schema versions -- being stale is this file's entire job.
+CREATE TABLE schema_version (version INTEGER NOT NULL);
+INSERT INTO schema_version (version) VALUES (3);
+CREATE TABLE campaigns (
+    fingerprint TEXT PRIMARY KEY,
+    name        TEXT NOT NULL,
+    spec_json   TEXT NOT NULL,
+    instructions INTEGER NOT NULL
+);
+CREATE TABLE jobs (
+    key         TEXT PRIMARY KEY,
+    campaign    TEXT NOT NULL REFERENCES campaigns(fingerprint),
+    num_cores   INTEGER NOT NULL,
+    mix_index   INTEGER NOT NULL,
+    variant     TEXT NOT NULL,
+    scheduler   TEXT NOT NULL,
+    workload_json TEXT NOT NULL,
+    kwargs_json TEXT NOT NULL,
+    seed        INTEGER NOT NULL,
+    instructions INTEGER NOT NULL,
+    status      TEXT NOT NULL DEFAULT 'pending'
+                CHECK (status IN ('pending', 'done', 'failed')),
+    attempts    INTEGER NOT NULL DEFAULT 0,
+    error       TEXT,
+    result_json TEXT
+);
+CREATE INDEX jobs_by_campaign ON jobs (campaign, status);
+ALTER TABLE jobs ADD COLUMN wall_time_s REAL;
+CREATE TABLE progress (
+    key         TEXT NOT NULL,
+    attempt     INTEGER NOT NULL,
+    worker      TEXT,
+    status      TEXT NOT NULL,
+    wall_time_s REAL,
+    events_per_sec REAL,
+    metrics_json TEXT,
+    updated_at  REAL,
+    PRIMARY KEY (key, attempt)
+);
+ALTER TABLE campaigns ADD COLUMN manifest_json TEXT;
+ALTER TABLE campaigns ADD COLUMN metrics_json TEXT;
